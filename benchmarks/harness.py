@@ -1,0 +1,225 @@
+"""Shared benchmark harness: cached problems, preconditioners and solves.
+
+Every benchmark file regenerates one table or figure of the paper.  They all
+share the caches below so that, e.g., the Skylake filter sweep (Table 3) and
+the Zen 2 sweep (Table 6) — identical 64 B cache lines, hence identical
+factors and iteration counts — only build and solve each configuration once
+per pytest session.
+
+Environment knobs
+-----------------
+``REPRO_SCALE``
+    Multiplies every catalog matrix size (default 1.0 ≈ 10⁴–10⁵ nonzeros,
+    minutes for the full suite).  Raise it to push towards paper scale.
+``REPRO_SUBSET``
+    If set to an integer N, only the first N matrices of each table are
+    evaluated (useful for smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cachesim import precond_x_misses_per_rank
+from repro.core import (
+    CGResult,
+    ExtensionMode,
+    ExtensionWorkspace,
+    FilterSpec,
+    Preconditioner,
+    build_fsai,
+    pcg,
+)
+from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.matgen import (
+    PAPER_RTOL,
+    MatrixCase,
+    default_rank_count,
+    paper_rhs,
+    table1_cases,
+    table2_cases,
+)
+from repro.perfmodel import CostModel, MachineSpec
+
+FILTER_VALUES = (0.01, 0.05, 0.1, 0.2)
+#: The paper's default hybrid configuration (§5.2): 8 threads per process.
+DEFAULT_THREADS = 8
+
+_problems: dict = {}
+_workspaces: dict = {}
+_preconds: dict = {}
+_solves: dict = {}
+_misses: dict = {}
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def cases(large: bool = False) -> list[MatrixCase]:
+    out = table2_cases() if large else table1_cases()
+    subset = os.environ.get("REPRO_SUBSET")
+    if subset:
+        out = out[: int(subset)]
+    return out
+
+
+@dataclass
+class Problem:
+    case: MatrixCase
+    mat: object
+    part: RowPartition
+    da: DistMatrix
+    b: DistVector
+
+
+def problem(name: str, large: bool = False) -> Problem:
+    key = (name, large, scale())
+    if key not in _problems:
+        from repro.matgen import get_case
+
+        case = get_case(name, large=large)
+        mat = case.build(scale())
+        if large:
+            # the large set runs at high rank counts in the paper (§5.5.1,
+            # 16k nnz/CPU); proportionally more ranks here
+            ranks = default_rank_count(mat.nnz, target_per_rank=2500, lo=8, hi=24)
+        else:
+            ranks = default_rank_count(mat.nnz)
+        part = RowPartition.from_matrix(mat, ranks, seed=case.case_id)
+        da = DistMatrix.from_global(mat, part)
+        b = DistVector.from_global(paper_rhs(mat, seed=case.case_id), part)
+        _problems[key] = Problem(case, mat, part, da, b)
+    return _problems[key]
+
+
+def workspace(name: str, large: bool, method: str, line_bytes: int) -> ExtensionWorkspace:
+    key = (name, large, method, line_bytes, scale())
+    if key not in _workspaces:
+        prob = problem(name, large)
+        mode = ExtensionMode.LOCAL if method == "fsaie" else ExtensionMode.COMM
+        label = "FSAIE" if method == "fsaie" else "FSAIE-Comm"
+        _workspaces[key] = ExtensionWorkspace(
+            label, prob.mat, prob.part, mode, line_bytes=line_bytes
+        )
+    return _workspaces[key]
+
+
+def preconditioner(
+    name: str,
+    *,
+    large: bool = False,
+    method: str = "comm",
+    line_bytes: int = 64,
+    filter_value: float = 0.01,
+    dynamic: bool = True,
+) -> Preconditioner:
+    """``method`` ∈ {"fsai", "fsaie", "comm"}; filters ignored for fsai."""
+    if method == "fsai":
+        key = (name, large, "fsai", scale())
+        if key not in _preconds:
+            prob = problem(name, large)
+            _preconds[key] = build_fsai(prob.mat, prob.part)
+        return _preconds[key]
+    key = (name, large, method, line_bytes, filter_value, dynamic, scale())
+    if key not in _preconds:
+        ws = workspace(name, large, method, line_bytes)
+        _preconds[key] = ws.finalize(FilterSpec(filter_value, dynamic=dynamic))
+    return _preconds[key]
+
+
+def solve(
+    name: str,
+    *,
+    large: bool = False,
+    method: str = "comm",
+    line_bytes: int = 64,
+    filter_value: float = 0.01,
+    dynamic: bool = True,
+) -> CGResult:
+    """PCG under the paper's protocol; cached per configuration."""
+    key = (name, large, method, line_bytes, filter_value, dynamic, scale())
+    if key not in _solves:
+        prob = problem(name, large)
+        pre = preconditioner(
+            name,
+            large=large,
+            method=method,
+            line_bytes=line_bytes,
+            filter_value=filter_value,
+            dynamic=dynamic,
+        )
+        _solves[key] = pcg(
+            prob.da, prob.b, precond=pre.apply, rtol=PAPER_RTOL, max_iterations=50_000
+        )
+    return _solves[key]
+
+
+def precond_misses(pre: Preconditioner, machine: MachineSpec, threads: int) -> np.ndarray:
+    key = (id(pre), machine.name, threads)
+    if key not in _misses:
+        _misses[key] = precond_x_misses_per_rank(pre.g, pre.gt, machine.l1.scaled(threads))
+    return _misses[key]
+
+
+def modeled_time(
+    name: str,
+    machine: MachineSpec,
+    *,
+    large: bool = False,
+    method: str = "comm",
+    filter_value: float = 0.01,
+    dynamic: bool = True,
+    threads: int = DEFAULT_THREADS,
+) -> float:
+    """Iterations (measured) × modeled iteration time on ``machine``."""
+    line_bytes = machine.cache_line_bytes
+    prob = problem(name, large)
+    pre = preconditioner(
+        name,
+        large=large,
+        method=method,
+        line_bytes=line_bytes,
+        filter_value=filter_value,
+        dynamic=dynamic,
+    )
+    result = solve(
+        name,
+        large=large,
+        method=method,
+        line_bytes=line_bytes,
+        filter_value=filter_value,
+        dynamic=dynamic,
+    )
+    model = CostModel(machine, threads_per_process=threads)
+    cost = model.iteration_cost(
+        prob.da, pre, precond_misses=precond_misses(pre, machine, threads)
+    )
+    return result.iterations * cost.total
+
+
+def sweep_times(
+    name: str,
+    machine: MachineSpec,
+    *,
+    large: bool = False,
+    method: str = "comm",
+    dynamic: bool = True,
+) -> dict[float, float]:
+    """Modeled time per Filter value (the paper's per-matrix sweeps)."""
+    return {
+        f: modeled_time(
+            name, machine, large=large, method=method, filter_value=f, dynamic=dynamic
+        )
+        for f in FILTER_VALUES
+    }
+
+
+def best_filter_time(
+    name: str, machine: MachineSpec, *, large: bool = False, method: str = "comm",
+    dynamic: bool = True,
+) -> float:
+    return min(sweep_times(name, machine, large=large, method=method, dynamic=dynamic).values())

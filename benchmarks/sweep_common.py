@@ -1,0 +1,99 @@
+"""Shared logic for the per-machine dynamic-filter sweep tables (5, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import FILTER_VALUES, cases, modeled_time, solve
+from repro.analysis import format_table, summarize_improvements
+from repro.perfmodel import MachineSpec
+
+
+def dynamic_sweep_table(machine: MachineSpec, *, large: bool = False, title: str):
+    """Print a Table 5/6/7-style block; returns {filter: summary-list}."""
+    names = [c.name for c in cases(large=large)]
+    line = machine.cache_line_bytes
+    base_iters = np.array(
+        [solve(n, large=large, method="fsai", line_bytes=line).iterations for n in names]
+    )
+    base_times = np.array(
+        [modeled_time(n, machine, large=large, method="fsai") for n in names]
+    )
+    blocks = {}
+    for f in FILTER_VALUES:
+        iters = np.array(
+            [
+                solve(n, large=large, method="comm", line_bytes=line, filter_value=f).iterations
+                for n in names
+            ]
+        )
+        times = np.array(
+            [
+                modeled_time(n, machine, large=large, method="comm", filter_value=f)
+                for n in names
+            ]
+        )
+        blocks[f] = (iters, times)
+    stacked_t = np.stack([blocks[f][1] for f in FILTER_VALUES])
+    stacked_i = np.stack([blocks[f][0] for f in FILTER_VALUES])
+    cols = np.arange(len(names))
+    best = stacked_t.argmin(axis=0)
+    blocks["best"] = (stacked_i[best, cols], stacked_t[best, cols])
+
+    rows = []
+    summaries = {}
+    for key in list(FILTER_VALUES) + ["best"]:
+        iters, times = blocks[key]
+        s = summarize_improvements(base_iters, base_times, iters, times)
+        rows.append([str(key)] + s.row())
+        summaries[key] = s
+    print()
+    print(
+        format_table(
+            ["Filter", "Avg iter %", "Avg time %", "Highest imp %", "Highest deg %"],
+            rows,
+            title=title,
+        )
+    )
+    return summaries
+
+
+def time_decrease_series(
+    machine: MachineSpec, fixed_filter: float, *, large: bool = False
+):
+    """Figure 2/4/6/8 data: per-matrix % time decrease of FSAIE-Comm vs FSAI
+    for the per-matrix best Filter and for one fixed Filter value."""
+    from repro.analysis import pct_decrease
+
+    names = [c.name for c in cases(large=large)]
+    best, fixed = [], []
+    for n in names:
+        t_fsai = modeled_time(n, machine, large=large, method="fsai")
+        sweep = [
+            modeled_time(n, machine, large=large, method="comm", filter_value=f)
+            for f in FILTER_VALUES
+        ]
+        best.append(pct_decrease(t_fsai, min(sweep)))
+        fixed.append(
+            pct_decrease(
+                t_fsai,
+                modeled_time(n, machine, large=large, method="comm", filter_value=fixed_filter),
+            )
+        )
+    return names, np.array(best), np.array(fixed)
+
+
+def print_series(title: str, names, best, fixed, fixed_label: str):
+    from repro.analysis import format_table
+
+    rows = [
+        [n, f"{b:+.2f}", f"{f:+.2f}"] for n, b, f in zip(names, best, fixed)
+    ]
+    print()
+    print(
+        format_table(
+            ["Matrix", "best Filter Δt%", f"Filter {fixed_label} Δt%"],
+            rows,
+            title=title,
+        )
+    )

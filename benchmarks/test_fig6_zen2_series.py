@@ -1,0 +1,25 @@
+"""Figure 6 — per-matrix time decrease series on Zen 2 (best & Filter 0.05)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import preconditioner, problem
+from repro.perfmodel import ZEN2
+from sweep_common import print_series, time_decrease_series
+
+
+def test_fig6_time_decrease_series_zen2(benchmark):
+    names, best, fixed = time_decrease_series(ZEN2, 0.05)
+    print_series("Figure 6 — Zen 2 time decrease (FSAIE-Comm vs FSAI)", names, best, fixed, "0.05")
+    print(f"\nmean(best)={best.mean():+.2f}%  mean(0.05)={fixed.mean():+.2f}%")
+
+    assert np.all(best >= fixed - 1e-9)
+    assert best.mean() > 0
+    assert np.mean(best > 0) >= 0.5
+    if len(names) >= 10:
+        assert np.mean(best > 0) > 0.5
+
+    prob = problem("cfd2")
+    pre = preconditioner("cfd2", method="comm", filter_value=0.05)
+    benchmark(lambda: pre.apply(prob.b))

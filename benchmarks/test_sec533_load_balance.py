@@ -1,0 +1,66 @@
+"""§5.3.3 — the dynamic filtering load-balance case study.
+
+The paper studies matrix 17 (consph): an imbalanced partition whose
+FSAIE-Comm extension drops the factor's imbalance index from 0.88 to 0.75,
+and dynamic filtering recovers it to 0.82.  Here the same experiment runs on
+the catalog analog: measure the imbalance index of G's per-rank nonzeros for
+(a) the base FSAI pattern, (b) the statically filtered extension and (c) the
+dynamically filtered extension, and verify dynamic filtering recovers
+balance without losing the iteration gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import preconditioner, problem, solve
+from repro.analysis import format_table
+from repro.core import imbalance_index
+
+CASES = ["consph", "thermal2", "cfd2", "G3_circuit", "ecology2", "parabolic_fem"]
+
+
+def test_dynamic_filter_restores_balance(benchmark):
+    rows = []
+    improved = []
+    for name in CASES:
+        base = preconditioner(name, method="fsai")
+        static = preconditioner(name, method="comm", filter_value=0.01, dynamic=False)
+        dynamic = preconditioner(name, method="comm", filter_value=0.01, dynamic=True)
+        ii = {
+            "base": imbalance_index(base.nnz_per_rank()),
+            "static": imbalance_index(static.nnz_per_rank()),
+            "dynamic": imbalance_index(dynamic.nnz_per_rank()),
+        }
+        it_static = solve(name, method="comm", filter_value=0.01, dynamic=False).iterations
+        it_dynamic = solve(name, method="comm", filter_value=0.01, dynamic=True).iterations
+        rows.append(
+            [
+                name,
+                f"{ii['base']:.3f}",
+                f"{ii['static']:.3f}",
+                f"{ii['dynamic']:.3f}",
+                it_static,
+                it_dynamic,
+            ]
+        )
+        improved.append(ii["dynamic"] - ii["static"])
+        # dynamic filtering never makes the imbalance index worse
+        assert ii["dynamic"] >= ii["static"] - 1e-9, name
+        # and the iteration cost of rebalancing stays small
+        assert it_dynamic <= it_static * 1.10 + 2, name
+
+    print()
+    print(
+        format_table(
+            ["Matrix", "imb(FSAI)", "imb(static)", "imb(dynamic)",
+             "iters static", "iters dynamic"],
+            rows,
+            title="§5.3.3 — imbalance index of G (mean/max of per-rank nnz)",
+        )
+    )
+    print(f"\nmean imbalance-index recovery by dynamic filter: {np.mean(improved):+.4f}")
+
+    prob = problem("consph")
+    pre = preconditioner("consph", method="comm", filter_value=0.01, dynamic=True)
+    benchmark(lambda: pre.apply(prob.b))

@@ -1,0 +1,76 @@
+"""Table 2 — the large matrix set on Zen 2 (Filter 0.01).
+
+The paper runs these on up to 32 768 cores; here the synthetic analogs run
+on proportionally scaled rank counts and times come from the Zen 2 machine
+model.  FSAIE-Comm must improve on FSAIE, which must not lose to FSAI on
+average (Table 2's shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import cases, modeled_time, preconditioner, problem, solve
+from repro.analysis import format_kv, format_table, pct_decrease
+from repro.perfmodel import ZEN2
+
+MACHINE = ZEN2
+
+
+def test_table2_large_zen2(benchmark):
+    rows = []
+    for case in cases(large=True):
+        name = case.name
+        r = {"name": name, "paper": case.paper}
+        for method in ("fsai", "fsaie", "comm"):
+            res = solve(name, large=True, method=method)
+            pre = preconditioner(name, large=True, method=method)
+            t = modeled_time(name, MACHINE, large=True, method=method)
+            r[method] = (t, res.iterations, pre.nnz_increase_percent)
+        rows.append(r)
+
+    table = [
+        [
+            r["name"],
+            f"{r['fsai'][0]:.3e}",
+            r["fsai"][1],
+            f"{r['fsaie'][0]:.3e}",
+            r["fsaie"][1],
+            f"{r['fsaie'][2]:.1f}",
+            f"{r['comm'][0]:.3e}",
+            r["comm"][1],
+            f"{r['comm'][2]:.1f}",
+            f"{pct_decrease(r['fsai'][0], r['comm'][0]):+.1f}",
+            f"{pct_decrease(r['paper'].fsai_time, r['paper'].comm_time):+.1f}",
+        ]
+        for r in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["Matrix", "FSAI t(s)", "it", "FSAIE t(s)", "it", "%NNZ",
+             "Comm t(s)", "it", "%NNZ", "Δt% (ours)", "Δt% (paper)"],
+            table,
+            title="Table 2 — large set, Zen 2, dynamic Filter 0.01",
+        )
+    )
+
+    comm_vs_fsaie = [r["fsaie"][1] - r["comm"][1] for r in rows]
+    time_dec = [pct_decrease(r["fsai"][0], r["comm"][0]) for r in rows]
+    print()
+    print(format_kv({
+        "avg modeled time decrease (Comm vs FSAI)": f"{np.mean(time_dec):.2f}%",
+        "FSAIE-Comm iteration wins vs FSAIE": f"{sum(d >= 0 for d in comm_vs_fsaie)}/{len(rows)}",
+        "paper": "Comm outperforms FSAIE on average by 3 points (Table 2)",
+    }, title="Summary"))
+
+    # Table 2's shape: Comm never does worse than FSAIE on iterations
+    assert np.mean(comm_vs_fsaie) >= 0
+    # the aggregate time claim is about the set average; individual
+    # well-conditioned cases may tie (they do in the paper's Table 2 as well)
+    if len(rows) >= 6:
+        assert np.mean(time_dec) > 0
+
+    prob = problem(cases(large=True)[0].name, large=True)
+    pre = preconditioner(cases(large=True)[0].name, large=True, method="comm")
+    benchmark(lambda: pre.apply(prob.b))

@@ -1,0 +1,85 @@
+"""Table 3 — filter sweep on Skylake.
+
+Four summary blocks, exactly as in the paper: FSAIE / FSAIE-Comm × static /
+dynamic filtering, over Filter ∈ {0.01, 0.05, 0.1, 0.2} plus the per-matrix
+best Filter.  Each block reports average iteration and time improvement and
+the best / worst time change across the matrix set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import FILTER_VALUES, cases, modeled_time, problem, preconditioner, solve
+from repro.analysis import format_table, summarize_improvements
+from repro.perfmodel import SKYLAKE
+
+MACHINE = SKYLAKE
+
+
+def _collect(method: str, dynamic: bool):
+    names = [c.name for c in cases()]
+    base_iters = np.array([solve(n, method="fsai").iterations for n in names])
+    base_times = np.array([modeled_time(n, MACHINE, method="fsai") for n in names])
+    blocks = {}
+    for f in FILTER_VALUES:
+        iters = np.array(
+            [solve(n, method=method, filter_value=f, dynamic=dynamic).iterations for n in names]
+        )
+        times = np.array(
+            [modeled_time(n, MACHINE, method=method, filter_value=f, dynamic=dynamic) for n in names]
+        )
+        blocks[f] = (iters, times)
+    # per-matrix best filter by modeled time
+    stacked_t = np.stack([blocks[f][1] for f in FILTER_VALUES])
+    stacked_i = np.stack([blocks[f][0] for f in FILTER_VALUES])
+    best_idx = stacked_t.argmin(axis=0)
+    cols = np.arange(len(names))
+    blocks["best"] = (stacked_i[best_idx, cols], stacked_t[best_idx, cols])
+    return base_iters, base_times, blocks
+
+
+def _print_block(title: str, base_iters, base_times, blocks):
+    rows = []
+    for key in list(FILTER_VALUES) + ["best"]:
+        iters, times = blocks[key]
+        s = summarize_improvements(base_iters, base_times, iters, times)
+        rows.append([str(key)] + s.row())
+    print()
+    print(
+        format_table(
+            ["Filter", "Avg iter %", "Avg time %", "Highest imp %", "Highest deg %"],
+            rows,
+            title=title,
+        )
+    )
+    return rows
+
+
+def test_table3_filter_sweep_skylake(benchmark):
+    summaries = {}
+    for method in ("fsaie", "comm"):
+        for dynamic in (False, True):
+            label = f"{'FSAIE-Comm' if method == 'comm' else 'FSAIE'} - " + (
+                "Dynamic Filter" if dynamic else "Static Filter"
+            )
+            base_iters, base_times, blocks = _collect(method, dynamic)
+            rows = _print_block(f"Table 3 — {label}", base_iters, base_times, blocks)
+            summaries[(method, dynamic)] = {r[0]: [float(v) for v in r[1:]] for r in rows}
+
+    # paper shapes:
+    # 1) stronger filters keep fewer entries => smaller iteration gains
+    for key, summary in summaries.items():
+        assert summary["0.01"][0] >= summary["0.2"][0] - 1.0, key
+    # 2) FSAIE-Comm beats FSAIE on average iterations at the best filter
+    assert (
+        summaries[("comm", True)]["best"][0]
+        >= summaries[("fsaie", True)]["best"][0] - 0.5
+    )
+    # 3) best-filter average time improvement is positive everywhere
+    for key, summary in summaries.items():
+        assert summary["best"][1] > 0, key
+
+    prob = problem("af_shell7")
+    pre = preconditioner("af_shell7", method="comm", filter_value=0.05)
+    benchmark(lambda: pre.apply(prob.b))

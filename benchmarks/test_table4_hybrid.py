@@ -1,0 +1,116 @@
+"""Table 4 — hybrid MPI+threads configurations on Skylake.
+
+For threads-per-process ∈ {1, 2, 4, 8, 48} the paper reports average
+iteration decrease, time decrease and preconditioning-SpMV FLOP/s increase
+of FSAIE / FSAIE-Comm vs FSAI (best dynamic Filter; FLOP/s measured without
+filtering).  More threads per process aggregate more L1, so cache-aware
+extensions gain more; fewer threads mean more MPI processes and bigger
+halos, where FSAIE-Comm's advantage over FSAIE is largest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import (
+    FILTER_VALUES,
+    cases,
+    modeled_time,
+    precond_misses,
+    preconditioner,
+    problem,
+    solve,
+)
+from repro.analysis import format_table, pct_decrease, pct_increase
+from repro.perfmodel import SKYLAKE, CostModel
+
+THREADS = (1, 2, 4, 8, 48)
+
+
+def _best_dynamic(name: str, method: str, threads: int):
+    """(iterations, modeled time) at the per-matrix best dynamic filter."""
+    options = [
+        (
+            solve(name, method=method, filter_value=f, dynamic=True).iterations,
+            modeled_time(name, SKYLAKE, method=method, filter_value=f, dynamic=True, threads=threads),
+        )
+        for f in FILTER_VALUES
+    ]
+    return min(options, key=lambda p: p[1])
+
+
+def _gflops(name: str, method: str, threads: int) -> float:
+    """Mean per-process GFLOP/s of Gᵀ(Gx) without filtering."""
+    if method == "fsai":
+        pre = preconditioner(name, method="fsai")
+    else:
+        pre = preconditioner(name, method=method, filter_value=0.0, dynamic=False)
+    model = CostModel(SKYLAKE, threads_per_process=threads)
+    return float(
+        model.precond_gflops_per_rank(
+            pre, precond_misses=precond_misses(pre, SKYLAKE, threads)
+        ).mean()
+    )
+
+
+def test_table4_hybrid_configurations(benchmark):
+    names = [c.name for c in cases()]
+    rows = []
+    stats = {}
+    for threads in THREADS:
+        iter_dec = {"fsaie": [], "comm": []}
+        time_dec = {"fsaie": [], "comm": []}
+        flops_inc = {"fsaie": [], "comm": []}
+        for name in names:
+            it_f = solve(name, method="fsai").iterations
+            t_f = modeled_time(name, SKYLAKE, method="fsai", threads=threads)
+            gf_f = _gflops(name, "fsai", threads)
+            for method in ("fsaie", "comm"):
+                it, t = _best_dynamic(name, method, threads)
+                iter_dec[method].append(pct_decrease(it_f, it))
+                time_dec[method].append(pct_decrease(t_f, t))
+                flops_inc[method].append(pct_increase(gf_f, _gflops(name, method, threads)))
+        stats[threads] = {
+            m: (
+                float(np.mean(iter_dec[m])),
+                float(np.mean(time_dec[m])),
+                float(np.mean(flops_inc[m])),
+            )
+            for m in ("fsaie", "comm")
+        }
+        rows.append(
+            [
+                threads,
+                f"{stats[threads]['fsaie'][0]:.2f}/{stats[threads]['comm'][0]:.2f}",
+                f"{stats[threads]['fsaie'][1]:.2f}/{stats[threads]['comm'][1]:.2f}",
+                f"{stats[threads]['fsaie'][2]:.2f}/{stats[threads]['comm'][2]:.2f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["CPU/Process", "Iter dec (FSAIE/Comm)", "Time dec", "FLOPs inc"],
+            rows,
+            title="Table 4 — hybrid configurations, Skylake, best dynamic Filter",
+        )
+    )
+
+    # paper shapes
+    # 1) FSAIE-Comm iteration gains track or beat FSAIE gains at every
+    #    configuration (small slack: "best filter" is picked by modeled
+    #    time, so the chosen iteration counts can differ slightly)
+    for threads in THREADS:
+        assert stats[threads]["comm"][0] >= stats[threads]["fsaie"][0] - 1.5
+    # 2) the modeled time advantage of Comm over FSAIE is largest at
+    #    1 thread/process (halo-dominated regime) — non-strict at this scale
+    gap1 = stats[1]["comm"][1] - stats[1]["fsaie"][1]
+    gap48 = stats[48]["comm"][1] - stats[48]["fsaie"][1]
+    assert gap1 >= gap48 - 1.0
+    # 3) GFLOP/s of the extended preconditioners does not collapse
+    for threads in THREADS:
+        assert stats[threads]["comm"][2] > -15.0
+
+    prob = problem("hood")
+    pre = preconditioner("hood", method="comm", filter_value=0.0, dynamic=False)
+    benchmark(lambda: pre.apply(prob.b))

@@ -1,0 +1,39 @@
+"""Table 5 — FSAIE-Comm dynamic-filter sweep on A64FX (256 B cache lines).
+
+The A64FX's 4× larger cache lines admit 4× wider extension blocks, so both
+%NNZ and the iteration gains exceed the Skylake ones (the paper's §5.4).
+"""
+
+from __future__ import annotations
+
+from harness import preconditioner, problem
+from repro.perfmodel import A64FX
+from sweep_common import dynamic_sweep_table
+
+
+def test_table5_a64fx_sweep(benchmark):
+    summaries = dynamic_sweep_table(
+        A64FX, title="Table 5 — FSAIE-Comm, dynamic Filter, A64FX"
+    )
+
+    # paper shape 1: best-filter improvements are positive
+    assert summaries["best"].avg_iterations > 0
+    assert summaries["best"].avg_time > 0
+    # paper shape 2: weak filters keep more entries and gain more iterations
+    assert summaries[0.01].avg_iterations >= summaries[0.2].avg_iterations - 1.0
+
+    # paper shape 3 (§5.4): larger cache lines extend more than Skylake's
+    pct_256 = []
+    pct_64 = []
+    for name in ("thermal2", "ecology2", "af_shell7", "hood"):
+        pct_256.append(
+            preconditioner(name, method="comm", line_bytes=256, filter_value=0.01).nnz_increase_percent
+        )
+        pct_64.append(
+            preconditioner(name, method="comm", line_bytes=64, filter_value=0.01).nnz_increase_percent
+        )
+    assert sum(pct_256) > sum(pct_64)
+
+    prob = problem("thermal2")
+    pre = preconditioner("thermal2", method="comm", line_bytes=256, filter_value=0.01)
+    benchmark(lambda: pre.apply(prob.b))

@@ -1,0 +1,27 @@
+"""Table 6 — FSAIE-Comm dynamic-filter sweep on Zen 2.
+
+Zen 2 shares Skylake's 64 B cache lines, so factors and iteration counts
+coincide with the Skylake sweep and only the machine model differs — the
+paper notes the Zen 2 averages are "close to Skylake results since both
+systems feature the same cache line size".
+"""
+
+from __future__ import annotations
+
+from harness import preconditioner, problem
+from repro.perfmodel import ZEN2
+from sweep_common import dynamic_sweep_table
+
+
+def test_table6_zen2_sweep(benchmark):
+    summaries = dynamic_sweep_table(
+        ZEN2, title="Table 6 — FSAIE-Comm, dynamic Filter, Zen 2"
+    )
+
+    assert summaries["best"].avg_iterations > 0
+    assert summaries["best"].avg_time > 0
+    assert summaries[0.01].avg_iterations >= summaries[0.2].avg_iterations - 1.0
+
+    prob = problem("ecology2")
+    pre = preconditioner("ecology2", method="comm", filter_value=0.01)
+    benchmark(lambda: pre.apply(prob.b))

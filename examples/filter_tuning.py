@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Dynamic filtering deep-dive: fixing load imbalance from pattern extension.
+
+Run:  python examples/filter_tuning.py
+
+Reproduces the §5.3.3 mechanism on a deliberately imbalanced case: extend
+the FSAI pattern of a dense-row matrix, watch the per-rank nonzero counts
+diverge under static filtering, then let Alg. 4's per-rank bisection pull
+the overloaded ranks back into the ±5% band.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DistMatrix,
+    DistVector,
+    FilterSpec,
+    PrecondOptions,
+    RowPartition,
+    build_fsaie_comm,
+    paper_rhs,
+    pcg,
+)
+from repro.analysis import format_table
+from repro.core import imbalance_index, relative_load
+from repro.matgen import wide_stencil_3d
+
+
+def main() -> None:
+    mat = wide_stencil_3d(7, 2)
+    # an intentionally uneven partition: contiguous strips of a 3-D ordering
+    # put very different halo/local mixes on each rank
+    part = RowPartition.contiguous(mat.nrows, 5)
+    da = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=3), part)
+    print(f"matrix: {mat.nrows} rows, {mat.nnz} nonzeros, 5 ranks (strip partition)\n")
+
+    rows = []
+    for dynamic in (False, True):
+        opts = PrecondOptions(filter=FilterSpec(0.001, dynamic=dynamic))
+        pre = build_fsaie_comm(mat, part, opts)
+        per_rank = pre.nnz_per_rank()
+        res = pcg(da, b, precond=pre.apply)
+        rows.append(
+            [
+                "dynamic" if dynamic else "static",
+                " ".join(f"{c:6d}" for c in per_rank),
+                f"{imbalance_index(per_rank):.3f}",
+                f"{relative_load(per_rank).max():.3f}",
+                res.iterations,
+                " ".join(f"{f:.3g}" for f in pre.filters),
+            ]
+        )
+
+    print(
+        format_table(
+            ["filtering", "nnz per rank", "imb index", "max load", "iters", "per-rank filters"],
+            rows,
+            title="Static vs dynamic filtering (Filter 0.001, FSAIE-Comm)",
+        )
+    )
+    print("\nThe dynamic strategy raises the filter only on overloaded ranks;")
+    print("the imbalance index (mean/max, 1.0 = balanced) moves toward 1.")
+
+
+if __name__ == "__main__":
+    main()

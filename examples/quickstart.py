@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a 3-D Poisson system with FSAIE-Comm preconditioned CG.
+
+Run:  python examples/quickstart.py
+
+Walks through the full pipeline of the paper on a small problem:
+partition the matrix across simulated MPI ranks, build the three
+preconditioners (FSAI, FSAIE, FSAIE-Comm), solve with CG under the paper's
+protocol, and verify that the communication-aware extension left the halo
+exchanges untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DistMatrix,
+    DistVector,
+    PAPER_RTOL,
+    RowPartition,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+    check_comm_invariance,
+    paper_rhs,
+    pcg,
+)
+from repro.matgen import poisson3d
+
+
+def main() -> None:
+    # 1. a model problem: 7-point Laplacian on a 16^3 grid
+    mat = poisson3d(16)
+    print(f"matrix: {mat.nrows} rows, {mat.nnz} nonzeros")
+
+    # 2. distribute rows over 8 simulated MPI ranks with the built-in
+    #    multilevel partitioner (the repo's METIS stand-in)
+    part = RowPartition.from_matrix(mat, nparts=8)
+    da = DistMatrix.from_global(mat, part)
+    print(f"partition: {part.nparts} ranks, "
+          f"halo values per update: {da.schedule.total_halo_values()}")
+
+    # 3. right-hand side per the paper's protocol: random, normalised to the
+    #    matrix max-norm; initial guess zero; stop at 8 orders of reduction
+    b = DistVector.from_global(paper_rhs(mat, seed=0), part)
+
+    # 4. build the three preconditioners and solve
+    results = {}
+    for build in (build_fsai, build_fsaie, build_fsaie_comm):
+        pre = build(mat, part)
+        res = pcg(da, b, precond=pre.apply, rtol=PAPER_RTOL)
+        results[pre.name] = (pre, res)
+        print(
+            f"{pre.name:11s} iterations={res.iterations:4d} "
+            f"converged={res.converged}  pattern nnz={pre.nnz} "
+            f"(+{pre.nnz_increase_percent:.1f}% vs FSAI)"
+        )
+
+    # 5. the paper's guarantee: the extended preconditioners exchange exactly
+    #    the same halo values as the baseline
+    base = results["FSAI"][0]
+    for name in ("FSAIE", "FSAIE-Comm"):
+        assert check_comm_invariance(base, results[name][0])
+    print("communication scheme: unchanged by both extensions ✓")
+
+    # 6. verify the solution independently
+    x = results["FSAIE-Comm"][1].x.to_global()
+    rel = np.linalg.norm(mat.spmv(x) - b.to_global()) / np.linalg.norm(b.to_global())
+    print(f"final relative residual: {rel:.2e}")
+
+
+if __name__ == "__main__":
+    main()

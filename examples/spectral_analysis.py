@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""What does the preconditioner do to the spectrum?  Measure it from CG.
+
+Run:  python examples/spectral_analysis.py
+
+CG's step coefficients encode a Lanczos tridiagonalisation of the
+(preconditioned) operator, so a converged solve doubles as an eigensolver.
+This example recovers the spectrum bounds and effective condition number of
+the operator under no preconditioner, FSAI, FSAIE-Comm and a level-2 FSAI —
+making the iteration counts of the other examples quantitatively
+explainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DistMatrix,
+    DistVector,
+    FSAIOptions,
+    PrecondOptions,
+    RowPartition,
+    build_fsai,
+    build_fsaie_comm,
+    paper_rhs,
+    pcg,
+)
+from repro.analysis import convergence_rate, format_table
+from repro.core import cg
+from repro.matgen import poisson2d
+
+
+def main() -> None:
+    mat = poisson2d(24)
+    part = RowPartition.from_matrix(mat, 4)
+    da = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=7), part)
+    print(f"problem: 2-D Poisson, {mat.nrows} unknowns\n")
+
+    runs = {"none": cg(da, b, rtol=1e-12)}
+    for label, build, opts in (
+        ("FSAI", build_fsai, PrecondOptions()),
+        ("FSAI level 2", build_fsai, PrecondOptions(fsai=FSAIOptions(level=2))),
+        ("FSAIE-Comm", build_fsaie_comm, PrecondOptions()),
+    ):
+        pre = build(mat, part, opts)
+        runs[label] = pcg(da, b, precond=pre.apply, rtol=1e-12)
+
+    rows = []
+    for label, result in runs.items():
+        est = result.spectral_estimate()
+        rows.append(
+            [
+                label,
+                result.iterations,
+                f"{est.lambda_min:.4f}",
+                f"{est.lambda_max:.4f}",
+                f"{est.condition_number:.1f}",
+                f"{convergence_rate(result.residual_norms):.4f}",
+            ]
+        )
+    print(
+        format_table(
+            ["preconditioner", "iterations", "λ_min", "λ_max", "cond est.", "rate/iter"],
+            rows,
+            title="Ritz estimates from the CG Lanczos coefficients",
+        )
+    )
+
+    # cross-check the unpreconditioned estimate against the true spectrum
+    w = np.linalg.eigvalsh(mat.to_dense())
+    print(f"\ntrue A spectrum: [{w[0]:.4f}, {w[-1]:.4f}], cond {w[-1] / w[0]:.1f}")
+    print("the 'none' row recovers it without ever forming the operator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro`` dispatches to the CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Convergence analysis of CG runs: rates and spectral estimates.
+
+CG is a Lanczos process in disguise: the step scalars ``α_k`` (step lengths)
+and ``β_k`` (direction couplings) define a tridiagonal matrix ``T_k`` whose
+eigenvalues (Ritz values) approximate the spectrum of the *preconditioned*
+operator.  From a converged run this module therefore recovers an estimate
+of the preconditioned condition number — the quantity FSAI-family
+preconditioners exist to reduce — without ever forming the operator.
+
+References: Golub & Van Loan, *Matrix Computations*, §10.2; Saad,
+*Iterative Methods for Sparse Linear Systems*, §6.7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpectralEstimate", "lanczos_tridiagonal", "estimate_spectrum", "convergence_rate"]
+
+
+@dataclass(frozen=True)
+class SpectralEstimate:
+    """Ritz-value summary of a CG run."""
+
+    lambda_min: float
+    lambda_max: float
+    ritz_values: np.ndarray
+
+    @property
+    def condition_number(self) -> float:
+        """``λ_max / λ_min`` (inf when λ_min ≤ 0)."""
+        if self.lambda_min <= 0:
+            return float("inf")
+        return self.lambda_max / self.lambda_min
+
+
+def lanczos_tridiagonal(alphas: np.ndarray, betas: np.ndarray) -> np.ndarray:
+    """The Lanczos tridiagonal ``T_k`` from CG coefficients.
+
+    With CG scalars ``α_0..α_{k-1}`` and ``β_1..β_{k-1}`` (``β`` has one
+    fewer entry), the standard identification is
+
+        T[j, j]   = 1/α_j + β_j/α_{j-1}      (β_0/α_{-1} taken as 0)
+        T[j, j+1] = T[j+1, j] = sqrt(β_{j+1}) / α_j
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    betas = np.asarray(betas, dtype=np.float64)
+    k = alphas.size
+    if k == 0:
+        raise ValueError("need at least one CG step")
+    if betas.size != max(k - 1, 0):
+        raise ValueError(f"expected {k - 1} betas for {k} alphas, got {betas.size}")
+    if np.any(alphas == 0):
+        raise ValueError("zero step length in CG coefficients")
+    t = np.zeros((k, k))
+    for j in range(k):
+        t[j, j] = 1.0 / alphas[j]
+        if j > 0:
+            t[j, j] += betas[j - 1] / alphas[j - 1]
+            off = np.sqrt(max(betas[j - 1], 0.0)) / alphas[j - 1]
+            t[j, j - 1] = t[j - 1, j] = off
+    return t
+
+
+def estimate_spectrum(alphas, betas) -> SpectralEstimate:
+    """Ritz values of the preconditioned operator from CG coefficients."""
+    t = lanczos_tridiagonal(alphas, betas)
+    ritz = np.linalg.eigvalsh(t)
+    return SpectralEstimate(
+        lambda_min=float(ritz[0]), lambda_max=float(ritz[-1]), ritz_values=ritz
+    )
+
+
+def convergence_rate(residual_norms) -> float:
+    """Geometric-mean per-iteration residual reduction factor (< 1 is good).
+
+    Computed over the whole history; returns 1.0 for runs shorter than two
+    entries or with a zero initial residual.
+    """
+    hist = np.asarray(residual_norms, dtype=np.float64)
+    if hist.size < 2 or hist[0] <= 0 or hist[-1] <= 0:
+        return 1.0
+    return float((hist[-1] / hist[0]) ** (1.0 / (hist.size - 1)))

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables as aligned text so a
+terminal diff against the paper is direct.  No third-party formatting
+dependency — fixed-width columns sized to content.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Numbers keep their given formatting (pass pre-formatted strings for
+    control); all cells are right-aligned except the first column.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in cells:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(ncols)
+    ]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            parts.append(cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, object], *, title: str | None = None) -> str:
+    """Render a key/value block (summary footers under tables)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Cache simulation substrate (the repo's PAPI-counter stand-in).
+
+* :class:`CacheConfig` — L1 geometry (size/line/associativity).
+* :class:`SetAssociativeCache`, :func:`simulate_misses` — LRU simulator.
+* :func:`spmv_x_misses`, :func:`precond_x_misses` — the paper's Fig. 3a/5a
+  metric: misses on the SpMV multiplying vector.
+* line-geometry helpers used by the pattern extensions.
+
+Predefined L1 geometries for the three evaluated machines are exposed as
+:data:`L1_SKYLAKE`, :data:`L1_A64FX` and :data:`L1_ZEN2`.
+"""
+
+from repro.cachesim.cache import CacheConfig, SetAssociativeCache, simulate_misses
+from repro.cachesim.hierarchy import (
+    L2_A64FX,
+    L2_SKYLAKE,
+    L2_ZEN2,
+    CacheHierarchy,
+    HierarchyResult,
+)
+from repro.cachesim.lines import doubles_per_line, line_block, line_ids, line_of
+from repro.cachesim.spmv_trace import (
+    precond_x_misses,
+    precond_x_misses_per_rank,
+    spmv_x_misses,
+    x_access_lines,
+)
+
+#: Intel Xeon Platinum 8160 (Skylake): 32 KiB, 8-way, 64 B lines.
+L1_SKYLAKE = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=8)
+#: Fujitsu A64FX: 64 KiB, 4-way, 256 B lines.
+L1_A64FX = CacheConfig(size_bytes=64 * 1024, line_bytes=256, associativity=4)
+#: AMD EPYC 7742 (Zen 2): 32 KiB, 8-way, 64 B lines.
+L1_ZEN2 = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=8)
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "simulate_misses",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "L2_SKYLAKE",
+    "L2_A64FX",
+    "L2_ZEN2",
+    "doubles_per_line",
+    "line_of",
+    "line_block",
+    "line_ids",
+    "x_access_lines",
+    "spmv_x_misses",
+    "precond_x_misses",
+    "precond_x_misses_per_rank",
+    "L1_SKYLAKE",
+    "L1_A64FX",
+    "L1_ZEN2",
+]

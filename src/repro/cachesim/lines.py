@@ -1,0 +1,45 @@
+"""Cache-line geometry helpers.
+
+The pattern-extension algorithms reason about which entries of the SpMV
+multiplying vector ``x`` share a cache line.  With 8-byte doubles, a line of
+``line_bytes`` holds ``line_bytes // 8`` consecutive values; the vector is
+assumed line-aligned at element 0 (the allocation behaviour the paper's C
+implementation relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["doubles_per_line", "line_of", "line_block", "line_ids"]
+
+_DOUBLE_BYTES = 8
+
+
+def doubles_per_line(line_bytes: int) -> int:
+    """Number of float64 values per cache line (≥1)."""
+    if line_bytes < _DOUBLE_BYTES or line_bytes % _DOUBLE_BYTES:
+        raise ValueError(f"line_bytes must be a positive multiple of 8, got {line_bytes}")
+    return line_bytes // _DOUBLE_BYTES
+
+
+def line_of(col: int, line_bytes: int) -> int:
+    """Cache-line id containing ``x[col]``."""
+    return int(col) // doubles_per_line(line_bytes)
+
+
+def line_block(col: int, line_bytes: int, n: int) -> tuple[int, int]:
+    """Half-open range ``[start, end)`` of vector positions sharing the line
+    of ``x[col]``, clipped to a vector of length ``n``.
+
+    This is step 10 of Alg. 3: "compute the initial and final columns of the
+    block of entries matching the cache line of x_j".
+    """
+    dpl = doubles_per_line(line_bytes)
+    start = (int(col) // dpl) * dpl
+    return start, min(start + dpl, int(n))
+
+
+def line_ids(cols: np.ndarray, line_bytes: int) -> np.ndarray:
+    """Vectorised :func:`line_of` for an index array."""
+    return np.asarray(cols, dtype=np.int64) // doubles_per_line(line_bytes)

@@ -1,0 +1,241 @@
+"""Command-line interface: solve and compare without writing Python.
+
+Usage::
+
+    python -m repro solve   --generate poisson3d:12 --ranks 8 --method comm
+    python -m repro solve   --matrix system.mtx --method fsaie --filter 0.05
+    python -m repro compare --generate catalog:thermal2 --machine a64fx
+    python -m repro info    --matrix system.mtx
+
+Matrix sources: ``--matrix FILE`` reads MatrixMarket; ``--generate SPEC``
+builds a synthetic problem, where SPEC is one of
+
+* ``poisson2d:N`` / ``poisson3d:N`` — Laplacian on an N^d grid,
+* ``elasticity2d:NX,NY`` / ``elasticity3d:NX,NY,NZ`` — FEM stiffness,
+* ``catalog:NAME`` / ``catalog-large:NAME`` — an evaluation-catalog entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import (
+    FilterSpec,
+    PrecondOptions,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+    check_comm_invariance,
+    imbalance_index,
+    pcg,
+)
+from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.errors import ReproError
+from repro.matgen import PAPER_RTOL, get_case, paper_rhs
+from repro.perfmodel import MACHINES, CostModel
+from repro.sparse import CSRMatrix, read_matrix_market
+from repro.sparse.ops import is_symmetric
+
+__all__ = ["main", "build_parser", "load_matrix"]
+
+_BUILDERS = {"fsai": build_fsai, "fsaie": build_fsaie, "comm": build_fsaie_comm}
+
+
+def load_matrix(args) -> CSRMatrix:
+    """Resolve ``--matrix`` / ``--generate`` into a CSR matrix."""
+    if args.matrix:
+        return read_matrix_market(args.matrix)
+    spec = args.generate
+    if spec is None:
+        raise ReproError("provide --matrix FILE or --generate SPEC")
+    kind, _, rest = spec.partition(":")
+    if kind in ("catalog", "catalog-large"):
+        return get_case(rest, large=kind.endswith("large")).build(args.scale)
+    dims = [int(d) for d in rest.split(",")] if rest else []
+    from repro import matgen
+
+    if kind == "poisson2d":
+        return matgen.poisson2d(*(dims or [16]))
+    if kind == "poisson3d":
+        return matgen.poisson3d(*(dims or [8]))
+    if kind == "elasticity2d":
+        return matgen.elasticity2d(*(dims or [8, 8]))
+    if kind == "elasticity3d":
+        return matgen.elasticity3d(*(dims or [4, 4, 4]))
+    raise ReproError(f"unknown generator {kind!r}")
+
+
+def _setup(args):
+    mat = load_matrix(args)
+    if not is_symmetric(mat):
+        raise ReproError("matrix must be symmetric (CG/FSAI requirement)")
+    part = RowPartition.from_matrix(mat, args.ranks, seed=args.seed)
+    da = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=args.seed), part)
+    return mat, part, da, b
+
+
+def _options(args) -> PrecondOptions:
+    machine = MACHINES[args.machine]
+    return PrecondOptions(
+        line_bytes=machine.cache_line_bytes,
+        filter=FilterSpec(args.filter, dynamic=not args.static),
+    )
+
+
+def cmd_solve(args) -> int:
+    """``repro solve``: one system, one method, full report."""
+    mat, part, da, b = _setup(args)
+    pre = _BUILDERS[args.method](mat, part, _options(args))
+    result = pcg(da, b, precond=pre.apply, rtol=args.rtol, max_iterations=args.max_iterations)
+    x = result.x.to_global()
+    rel = np.linalg.norm(mat.spmv(x) - b.to_global()) / np.linalg.norm(b.to_global())
+    model = CostModel(MACHINES[args.machine], threads_per_process=args.threads)
+    t = result.iterations * model.iteration_cost(da, pre).total
+    print(f"matrix           : {mat.nrows} rows, {mat.nnz} nnz, {args.ranks} ranks")
+    print(f"preconditioner   : {pre.name} (pattern +{pre.nnz_increase_percent:.1f}% vs FSAI)")
+    print(f"iterations       : {result.iterations} (converged={result.converged})")
+    print(f"relative residual: {rel:.3e}")
+    print(f"modeled time     : {t * 1e3:.3f} ms on {args.machine} "
+          f"({args.threads} threads/process)")
+    return 0 if result.converged else 1
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: FSAI vs FSAIE vs FSAIE-Comm side by side."""
+    from repro.analysis import format_table, pct_decrease
+
+    mat, part, da, b = _setup(args)
+    model = CostModel(MACHINES[args.machine], threads_per_process=args.threads)
+    rows = []
+    results = {}
+    for method, build in _BUILDERS.items():
+        pre = build(mat, part, _options(args))
+        res = pcg(da, b, precond=pre.apply, rtol=args.rtol, max_iterations=args.max_iterations)
+        t = res.iterations * model.iteration_cost(da, pre).total
+        results[method] = (pre, res, t)
+        rows.append(
+            [
+                pre.name,
+                res.iterations,
+                f"{pre.nnz_increase_percent:.1f}",
+                f"{imbalance_index(pre.nnz_per_rank()):.3f}",
+                f"{t * 1e3:.3f}",
+            ]
+        )
+    base_t = results["fsai"][2]
+    for row, method in zip(rows, _BUILDERS):
+        row.append(f"{pct_decrease(base_t, results[method][2]):+.1f}")
+    print(
+        format_table(
+            ["Method", "iterations", "%NNZ", "imb index", "modeled ms", "Δtime %"],
+            rows,
+            title=f"{mat.nrows} rows / {mat.nnz} nnz on {args.ranks} ranks, "
+            f"{args.machine}, Filter {args.filter} "
+            f"({'static' if args.static else 'dynamic'})",
+        )
+    )
+    invariant = check_comm_invariance(results["fsai"][0], results["comm"][0])
+    print(f"\ncommunication scheme unchanged by FSAIE-Comm: {invariant}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Write catalog matrices as MatrixMarket files."""
+    from pathlib import Path
+
+    from repro.matgen import table1_cases, table2_cases
+    from repro.sparse import write_matrix_market
+
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cases = table2_cases() if args.large else table1_cases()
+    if args.names:
+        wanted = set(args.names.split(","))
+        cases = [c for c in cases if c.name in wanted]
+        missing = wanted - {c.name for c in cases}
+        if missing:
+            raise ReproError(f"unknown matrices: {sorted(missing)}")
+    for case in cases:
+        mat = case.build(args.scale)
+        path = out_dir / f"{case.name}.mtx"
+        write_matrix_market(path, mat, symmetric=True)
+        print(f"{path}  ({mat.nrows} rows, {mat.nnz} nnz)")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """``repro info``: structural statistics of a matrix."""
+    from repro.order import bandwidth
+
+    mat = load_matrix(args)
+    diag = mat.diagonal()
+    print(f"rows        : {mat.nrows}")
+    print(f"nnz         : {mat.nnz} ({mat.nnz / max(mat.nrows, 1):.1f} per row)")
+    print(f"symmetric   : {is_symmetric(mat)}")
+    print(f"bandwidth   : {bandwidth(mat)}")
+    print(f"diag range  : [{diag.min():.3e}, {diag.max():.3e}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FSAIE-Comm reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_solver: bool):
+        src = p.add_mutually_exclusive_group()
+        src.add_argument("--matrix", help="MatrixMarket file")
+        src.add_argument("--generate", help="synthetic spec, e.g. poisson3d:12")
+        p.add_argument("--scale", type=float, default=1.0, help="catalog size scale")
+        if with_solver:
+            p.add_argument("--ranks", type=int, default=4)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--machine", choices=sorted(MACHINES), default="skylake")
+            p.add_argument("--threads", type=int, default=8,
+                           help="threads per process (paper default: 8)")
+            p.add_argument("--filter", type=float, default=0.01)
+            p.add_argument("--static", action="store_true",
+                           help="static filtering instead of dynamic (Alg. 4)")
+            p.add_argument("--rtol", type=float, default=PAPER_RTOL)
+            p.add_argument("--max-iterations", type=int, default=50_000)
+
+    p_solve = sub.add_parser("solve", help="solve one system with one method")
+    add_common(p_solve, with_solver=True)
+    p_solve.add_argument("--method", choices=sorted(_BUILDERS), default="comm")
+    p_solve.set_defaults(fn=cmd_solve)
+
+    p_cmp = sub.add_parser("compare", help="FSAI vs FSAIE vs FSAIE-Comm")
+    add_common(p_cmp, with_solver=True)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_info = sub.add_parser("info", help="matrix statistics")
+    add_common(p_info, with_solver=False)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_exp = sub.add_parser("export", help="write catalog matrices as .mtx files")
+    p_exp.add_argument("--output", default="matrices", help="output directory")
+    p_exp.add_argument("--large", action="store_true", help="export the Table 2 set")
+    p_exp.add_argument("--names", help="comma-separated subset of matrix names")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.set_defaults(fn=cmd_export)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""The paper's contribution: FSAI, FSAIE and FSAIE-Comm preconditioned CG.
+
+Typical use::
+
+    from repro.core import build_fsaie_comm, pcg, PrecondOptions, FilterSpec
+    from repro.dist import RowPartition, DistMatrix, DistVector
+
+    part = RowPartition.from_matrix(A, nparts=16)
+    dA = DistMatrix.from_global(A, part)
+    M = build_fsaie_comm(A, part, PrecondOptions(filter=FilterSpec(0.01)))
+    result = pcg(dA, DistVector.from_global(b, part), precond=M.apply)
+"""
+
+from repro.core.adaptive import FSPAIOptions, fspai_factor, fspai_pattern
+from repro.core.baselines import block_jacobi_preconditioner, jacobi_preconditioner
+from repro.core.cg import CGResult, cg, pcg
+from repro.core.extension import (
+    ExtensionMode,
+    RankExtension,
+    extend_dist_pattern,
+    extend_rank_pattern,
+)
+from repro.core.filtering import (
+    FilterSpec,
+    compute_dynamic_filters,
+    dynamic_filter_for_rank,
+    entry_ratios,
+    extension_entry_mask,
+    imbalance_index,
+    relative_load,
+)
+from repro.core.fsai import FSAIOptions, compute_g_values, fsai_factor, fsai_pattern
+from repro.core.solvers import bicgstab, pipelined_pcg, steepest_descent
+from repro.core.spai import spai, spai_values
+from repro.core.spmd_setup import spmd_build_fsaie_comm
+from repro.core.precond import (
+    ExtensionWorkspace,
+    Preconditioner,
+    PrecondOptions,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+    check_comm_invariance,
+)
+
+__all__ = [
+    "FSAIOptions",
+    "fsai_pattern",
+    "compute_g_values",
+    "fsai_factor",
+    "FSPAIOptions",
+    "fspai_pattern",
+    "fspai_factor",
+    "spai",
+    "spai_values",
+    "bicgstab",
+    "pipelined_pcg",
+    "steepest_descent",
+    "ExtensionMode",
+    "RankExtension",
+    "extend_rank_pattern",
+    "extend_dist_pattern",
+    "FilterSpec",
+    "entry_ratios",
+    "extension_entry_mask",
+    "compute_dynamic_filters",
+    "dynamic_filter_for_rank",
+    "imbalance_index",
+    "relative_load",
+    "PrecondOptions",
+    "ExtensionWorkspace",
+    "Preconditioner",
+    "build_fsai",
+    "build_fsaie",
+    "build_fsaie_comm",
+    "spmd_build_fsaie_comm",
+    "check_comm_invariance",
+    "CGResult",
+    "pcg",
+    "cg",
+    "jacobi_preconditioner",
+    "block_jacobi_preconditioner",
+]

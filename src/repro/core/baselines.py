@@ -1,0 +1,81 @@
+"""Reference preconditioners beyond the FSAI family.
+
+The paper's background (§1) situates FSAI among alternatives such as
+Block-Jacobi; these are provided both as sanity baselines for the test suite
+and as additional comparators for users.  Each returns a callable with the
+same signature as :meth:`repro.core.precond.Preconditioner.apply`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.matrix import DistMatrix
+from repro.dist.vector import DistVector
+from repro.errors import NotSPDError
+from repro.mpisim.tracker import CommTracker
+
+__all__ = ["jacobi_preconditioner", "block_jacobi_preconditioner"]
+
+
+def jacobi_preconditioner(mat: DistMatrix):
+    """Diagonal (point-Jacobi) preconditioner ``z = D⁻¹ r``.
+
+    Communication free: each rank scales its own entries.
+    """
+    inv_diags = []
+    for lm in mat.locals:
+        d = np.zeros(lm.n_local)
+        for i in range(lm.n_local):
+            cols, vals = lm.csr.row(i)
+            pos = np.searchsorted(cols, i)
+            if pos < cols.size and cols[pos] == i:
+                d[i] = vals[pos]
+        if np.any(d <= 0):
+            raise NotSPDError("Jacobi preconditioner needs a positive diagonal")
+        inv_diags.append(1.0 / d)
+
+    def apply(r: DistVector, tracker: CommTracker | None = None) -> DistVector:
+        """Scale each rank's residual block by its inverse diagonal."""
+        return DistVector(
+            r.partition, [inv_d * part for inv_d, part in zip(inv_diags, r.parts)]
+        )
+
+    return apply
+
+
+def block_jacobi_preconditioner(mat: DistMatrix, *, max_block: int = 4096):
+    """Block-Jacobi with one block per rank: ``z_p = (A_pp)⁻¹ r_p``.
+
+    The local diagonal block of each rank is factorized densely (Cholesky),
+    so this is only practical for modest local sizes — enforced by
+    ``max_block``.  Communication free at apply time, like the real method.
+    """
+    factors = []
+    for lm in mat.locals:
+        n = lm.n_local
+        if n > max_block:
+            raise ValueError(
+                f"rank {lm.rank}: local block {n} exceeds max_block={max_block}"
+            )
+        dense = np.zeros((n, n))
+        for i in range(n):
+            cols, vals = lm.csr.row(i)
+            local = cols < n
+            dense[i, cols[local]] = vals[local]
+        try:
+            factors.append(np.linalg.cholesky(dense))
+        except np.linalg.LinAlgError as exc:
+            raise NotSPDError(
+                f"rank {lm.rank}: local diagonal block is not positive definite"
+            ) from exc
+
+    def apply(r: DistVector, tracker: CommTracker | None = None) -> DistVector:
+        """Forward/backward-substitute each rank's block through its Cholesky factor."""
+        parts = []
+        for chol, part in zip(factors, r.parts):
+            y = np.linalg.solve(chol, part)
+            parts.append(np.linalg.solve(chol.T, y))
+        return DistVector(r.partition, parts)
+
+    return apply

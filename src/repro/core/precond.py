@@ -1,0 +1,272 @@
+"""Preconditioner construction: FSAI, FSAIE and FSAIE-Comm end to end.
+
+This module wires the full pipelines of Algorithms 1–4:
+
+* :func:`build_fsai` — baseline FSAI on the a-priori pattern.
+* :func:`build_fsaie` — FSAI + cache-friendly extension of *local* entries
+  (prior work applied per-process, the paper's FSAIE comparator).
+* :func:`build_fsaie_comm` — FSAI + communication-aware extension of local
+  **and** halo entries (the paper's contribution).
+
+All three return a :class:`Preconditioner` holding the row-distributed ``G``
+and ``Gᵀ`` (the preconditioning step is two SpMVs) plus the bookkeeping the
+evaluation reports: %NNZ increase, per-rank filters, extension statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extension import (
+    ExtensionMode,
+    RankExtension,
+    extend_dist_pattern,
+)
+from repro.core.filtering import (
+    FilterSpec,
+    compute_dynamic_filters,
+    entry_ratios,
+    extension_entry_mask,
+)
+from repro.core.fsai import FSAIOptions, compute_g_values, fsai_pattern
+from repro.dist.matrix import DistMatrix
+from repro.dist.partition_map import RowPartition
+from repro.dist.vector import DistVector
+from repro.mpisim.tracker import CommTracker
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import SparsityPattern
+
+__all__ = [
+    "PrecondOptions",
+    "ExtensionWorkspace",
+    "Preconditioner",
+    "build_fsai",
+    "build_fsaie",
+    "build_fsaie_comm",
+    "check_comm_invariance",
+]
+
+
+@dataclass(frozen=True)
+class PrecondOptions:
+    """Knobs of the preconditioner pipelines.
+
+    Attributes
+    ----------
+    fsai:
+        Baseline FSAI options (pattern level, thresholds).
+    line_bytes:
+        Cache line size driving the extension (64 B Skylake/Zen 2, 256 B
+        A64FX).
+    filter:
+        Extension filtering specification (value, static/dynamic).
+    """
+
+    fsai: FSAIOptions = FSAIOptions()
+    line_bytes: int = 64
+    filter: FilterSpec = FilterSpec()
+
+
+@dataclass
+class Preconditioner:
+    """A factorized approximate inverse ready to apply inside CG."""
+
+    name: str
+    g: DistMatrix
+    gt: DistMatrix
+    base_nnz: int
+    nnz: int
+    filters: np.ndarray
+    extensions: list[RankExtension] = field(default_factory=list)
+    ext_nnz_unfiltered: int = 0
+
+    def apply(self, r: DistVector, tracker: CommTracker | None = None) -> DistVector:
+        """Preconditioning step ``z = Gᵀ(G·r)`` — two distributed SpMVs."""
+        return self.gt.spmv(self.g.spmv(r, tracker), tracker)
+
+    # metrics the paper's tables report -------------------------------
+    @property
+    def nnz_increase_percent(self) -> float:
+        """%NNZ — added lower-triangular entries relative to the FSAI pattern."""
+        if self.base_nnz == 0:
+            return 0.0
+        return 100.0 * (self.nnz - self.base_nnz) / self.base_nnz
+
+    def nnz_per_rank(self) -> np.ndarray:
+        """Stored entries of ``G`` per rank (load-balance metric)."""
+        return self.g.nnz_per_rank()
+
+    def flops_per_apply(self) -> int:
+        """FLOPs of one ``Gᵀ(Gx)`` application (2 per entry per product)."""
+        return 2 * (self.g.nnz + self.gt.nnz)
+
+    def __repr__(self) -> str:
+        return (
+            f"Preconditioner({self.name}, nnz={self.nnz}, "
+            f"+{self.nnz_increase_percent:.2f}% vs FSAI)"
+        )
+
+
+# ----------------------------------------------------------------------
+def build_fsai(
+    mat: CSRMatrix,
+    partition: RowPartition,
+    options: PrecondOptions = PrecondOptions(),
+) -> Preconditioner:
+    """Baseline FSAI preconditioner (Alg. 1), distributed by rows."""
+    pattern = fsai_pattern(mat, options.fsai)
+    g = compute_g_values(mat, pattern)
+    return _distribute("FSAI", g, partition, base_nnz=pattern.nnz,
+                       filters=np.zeros(partition.nparts))
+
+
+def build_fsaie(
+    mat: CSRMatrix,
+    partition: RowPartition,
+    options: PrecondOptions = PrecondOptions(),
+) -> Preconditioner:
+    """FSAIE: cache-friendly extension of local entries only (Alg. 2)."""
+    return _build_extended("FSAIE", mat, partition, options, ExtensionMode.LOCAL)
+
+
+def build_fsaie_comm(
+    mat: CSRMatrix,
+    partition: RowPartition,
+    options: PrecondOptions = PrecondOptions(),
+) -> Preconditioner:
+    """FSAIE-Comm: communication-aware local + halo extension (Alg. 3)."""
+    return _build_extended("FSAIE-Comm", mat, partition, options, ExtensionMode.COMM)
+
+
+class ExtensionWorkspace:
+    """The filter-independent stages of FSAIE / FSAIE-Comm, precomputed once.
+
+    Building the extension and the unfiltered factor (Alg. 2 steps 1–4)
+    dominates setup cost but does not depend on the ``Filter`` value.  A
+    workspace caches those stages so parameter sweeps (the paper evaluates
+    4 filter values × 2 strategies per matrix) only pay the cheap
+    drop-and-recompute of step 5 per configuration via :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mat: CSRMatrix,
+        partition: RowPartition,
+        mode: ExtensionMode,
+        *,
+        line_bytes: int = 64,
+        fsai: FSAIOptions = FSAIOptions(),
+    ):
+        self.name = name
+        self.mat = mat
+        self.partition = partition
+        self.mode = mode
+        self.line_bytes = line_bytes
+        self.base = fsai_pattern(mat, fsai)
+
+        # distribute the *pattern* to obtain the local x-vector layout whose
+        # cache lines the extension exploits (values are irrelevant here)
+        dist_pattern = DistMatrix.from_global(self.base.to_csr(), partition)
+        self.extensions = extend_dist_pattern(dist_pattern, line_bytes, mode)
+        ext_rows = (
+            np.concatenate([e.rows for e in self.extensions])
+            if self.extensions
+            else np.empty(0, np.int64)
+        )
+        ext_cols = (
+            np.concatenate([e.cols for e in self.extensions])
+            if self.extensions
+            else np.empty(0, np.int64)
+        )
+        self.ext_nnz_unfiltered = int(ext_rows.size)
+        s_ext = _union_with_entries(self.base, ext_rows, ext_cols)
+
+        # Alg. 2 step 4: precalculate G on the full extended pattern
+        self.g_pre = compute_g_values(mat, s_ext)
+        self.ratios = entry_ratios(self.g_pre)
+        self.ext_mask = extension_entry_mask(self.g_pre, self.base)
+        self.entry_owner = partition.owner[
+            np.repeat(np.arange(self.g_pre.nrows, dtype=np.int64), self.g_pre.row_nnz())
+        ]
+        self.base_counts = np.array(
+            [
+                int(np.count_nonzero(~self.ext_mask & (self.entry_owner == p)))
+                for p in range(partition.nparts)
+            ],
+            dtype=np.int64,
+        )
+        self.ext_ratios_per_rank = [
+            self.ratios[self.ext_mask & (self.entry_owner == p)]
+            for p in range(partition.nparts)
+        ]
+
+    def finalize(self, filter_spec: FilterSpec) -> Preconditioner:
+        """Filter extension entries and recompute ``G`` (Alg. 2 step 5)."""
+        filters = compute_dynamic_filters(
+            self.base_counts, self.ext_ratios_per_rank, filter_spec
+        )
+        drop = self.ext_mask & (self.ratios <= filters[self.entry_owner])
+        filtered = self.g_pre.drop_entries(drop)
+        g_final = compute_g_values(self.mat, SparsityPattern.from_csr(filtered))
+        pre = _distribute(
+            self.name, g_final, self.partition, base_nnz=self.base.nnz, filters=filters
+        )
+        pre.extensions = self.extensions
+        pre.ext_nnz_unfiltered = self.ext_nnz_unfiltered
+        return pre
+
+
+def _build_extended(
+    name: str,
+    mat: CSRMatrix,
+    partition: RowPartition,
+    options: PrecondOptions,
+    mode: ExtensionMode,
+) -> Preconditioner:
+    workspace = ExtensionWorkspace(
+        name, mat, partition, mode, line_bytes=options.line_bytes, fsai=options.fsai
+    )
+    return workspace.finalize(options.filter)
+
+
+def _union_with_entries(
+    base: SparsityPattern, rows: np.ndarray, cols: np.ndarray
+) -> SparsityPattern:
+    """Union of a pattern with explicit (row, col) additions."""
+    if rows.size == 0:
+        return base
+    extra = CSRMatrix.from_coo(base.shape, rows, cols, np.ones(rows.size))
+    return base.union(SparsityPattern.from_csr(extra))
+
+
+def _distribute(
+    name: str,
+    g: CSRMatrix,
+    partition: RowPartition,
+    *,
+    base_nnz: int,
+    filters: np.ndarray,
+) -> Preconditioner:
+    dist_g = DistMatrix.from_global(g, partition)
+    dist_gt = DistMatrix.from_global(g.transpose(), partition)
+    return Preconditioner(
+        name=name,
+        g=dist_g,
+        gt=dist_gt,
+        base_nnz=base_nnz,
+        nnz=g.nnz,
+        filters=np.asarray(filters, dtype=np.float64),
+    )
+
+
+def check_comm_invariance(base: Preconditioner, extended: Preconditioner) -> bool:
+    """The paper's core guarantee: the extended preconditioner exchanges
+    exactly the same halo values as the baseline, for both ``G`` and ``Gᵀ``.
+    """
+    return (
+        extended.g.schedule == base.g.schedule
+        and extended.gt.schedule == base.gt.schedule
+    )

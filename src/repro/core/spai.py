@@ -1,0 +1,76 @@
+"""SPAI: the non-factorized Sparse Approximate Inverse preconditioner.
+
+Background for the paper (§2.2 and related work): SAI/SPAI computes a single
+sparse ``M ≈ A⁻¹`` by Frobenius minimisation, column by column —
+
+    min ‖A m_j − e_j‖₂   over columns ``m_j`` supported on a fixed pattern,
+
+each column an independent dense least-squares problem over the rows of
+``A`` touched by the column's support (Grote–Huckle 1997, static-pattern
+variant).  Unlike FSAI, ``M`` is not symmetric in general, so SPAI pairs
+with general Krylov solvers (see :func:`repro.core.solvers.bicgstab`) rather
+than CG.  It is included as the classical comparator the FSAI family is
+measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import SparsityPattern, power_pattern
+
+__all__ = ["spai_values", "spai"]
+
+
+def spai_values(mat: CSRMatrix, pattern: SparsityPattern) -> CSRMatrix:
+    """Compute ``M`` on a fixed pattern (``pattern`` holds M's *rows*).
+
+    ``pattern`` is the sparsity of ``M`` in row-major terms: row ``i`` of
+    the pattern lists the nonzero columns of row ``i`` of ``M``.  The
+    minimisation runs over columns of ``M``, i.e. rows of ``Mᵀ``, so the
+    pattern is transposed internally.
+    """
+    n = mat.nrows
+    if mat.nrows != mat.ncols:
+        raise ShapeError("SPAI needs a square matrix")
+    if pattern.shape != mat.shape:
+        raise ShapeError("pattern shape mismatch")
+
+    at = mat.transpose()  # row access to columns of A
+    col_pattern = pattern.transpose()  # support of each column of M
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    vals_out: list[np.ndarray] = []
+    for j in range(n):
+        support = col_pattern.row(j)  # J: nonzero positions of column m_j
+        if support.size == 0:
+            continue
+        # I: rows of A with a nonzero in any column of J = union of the
+        # patterns of columns J = rows of Aᵀ restricted to J
+        touched: list[np.ndarray] = [at.row(int(k))[0] for k in support]
+        rows_i = np.unique(np.concatenate(touched))
+        sub = mat.submatrix(rows_i, support)  # A(I, J), dense
+        rhs = np.zeros(rows_i.size)
+        pos = np.searchsorted(rows_i, j)
+        if pos < rows_i.size and rows_i[pos] == j:
+            rhs[pos] = 1.0
+        coef, *_ = np.linalg.lstsq(sub, rhs, rcond=None)
+        rows_out.append(support)
+        cols_out.append(np.full(support.size, j, dtype=np.int64))
+        vals_out.append(coef)
+    if not rows_out:
+        return CSRMatrix.zeros(mat.shape)
+    return CSRMatrix.from_coo(
+        mat.shape,
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+    )
+
+
+def spai(mat: CSRMatrix, *, level: int = 1) -> CSRMatrix:
+    """SPAI with the a-priori pattern of ``A^level`` (diagonal included)."""
+    pattern = power_pattern(SparsityPattern.from_csr(mat), level)
+    return spai_values(mat, pattern)

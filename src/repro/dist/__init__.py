@@ -1,0 +1,36 @@
+"""Distributed linear algebra: row partitions, halos, distributed matrices.
+
+Two execution engines share these data structures:
+
+* the deterministic bulk-synchronous (BSP) methods on
+  :class:`DistMatrix`/:class:`DistVector`, used by the solver and benchmarks;
+* the SPMD functions in :mod:`repro.dist.spmd`, which run the identical
+  algorithms over real message passing on :mod:`repro.mpisim` and validate
+  the BSP shortcut.
+"""
+
+from repro.dist.halo import HaloSchedule
+from repro.dist.matrix import DistMatrix, LocalMatrix
+from repro.dist.partition_map import RowPartition
+from repro.dist.redistribute import (
+    migration_volume,
+    redistribute_matrix,
+    redistribute_vector,
+)
+from repro.dist.spmd import spmd_cg, spmd_dot, spmd_halo_update, spmd_spmv
+from repro.dist.vector import DistVector
+
+__all__ = [
+    "RowPartition",
+    "HaloSchedule",
+    "DistVector",
+    "LocalMatrix",
+    "DistMatrix",
+    "redistribute_vector",
+    "redistribute_matrix",
+    "migration_volume",
+    "spmd_spmv",
+    "spmd_dot",
+    "spmd_halo_update",
+    "spmd_cg",
+]

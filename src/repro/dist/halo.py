@@ -1,0 +1,169 @@
+"""Halo (ghost-cell) exchange schedules for row-distributed sparse matrices.
+
+Terminology follows the paper (§3): rows owned by a rank are its *local
+unknowns*; off-rank unknowns coupled to them are *halo unknowns*.  Before a
+distributed SpMV, every rank must receive the current values of its halo
+unknowns from their owners — the *halo update*.
+
+:class:`HaloSchedule` captures exactly which values move between which ranks,
+and is therefore the object on which the paper's communication-invariance
+guarantee is stated: FSAIE-Comm must produce an extended matrix whose halo
+schedule **equals** the original one (for both ``G`` and ``Gᵀ``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.partition_map import RowPartition
+from repro.errors import PartitionError
+from repro.mpisim.tracker import CommTracker
+
+__all__ = ["HaloSchedule"]
+
+
+class HaloSchedule:
+    """Per-rank halo exchange lists derived from a matrix pattern.
+
+    Attributes
+    ----------
+    ext_cols:
+        ``ext_cols[p]`` — ascending global column ids referenced by rank
+        ``p``'s rows but owned elsewhere.  The local SpMV input vector on
+        ``p`` is ``[x_local | x_halo]`` with the halo section in this order.
+    recv_from:
+        ``recv_from[p][q]`` — ascending global ids owned by ``q`` that ``p``
+        receives (a sub-list of ``ext_cols[p]``).
+    send_to:
+        ``send_to[p][q]`` — ascending global ids owned by ``p`` that ``p``
+        sends to ``q`` (mirror of ``recv_from[q][p]``).
+    recv_pos:
+        ``recv_pos[p][q]`` — positions of ``recv_from[p][q]`` inside
+        ``ext_cols[p]`` (where received values land in the halo buffer).
+    """
+
+    __slots__ = ("partition", "ext_cols", "recv_from", "send_to", "recv_pos")
+
+    def __init__(self, partition: RowPartition, ext_cols: list[np.ndarray]):
+        if len(ext_cols) != partition.nparts:
+            raise PartitionError("need one ext-column list per rank")
+        self.partition = partition
+        self.ext_cols = [np.asarray(c, dtype=np.int64) for c in ext_cols]
+        owner = partition.owner
+        self.recv_from: list[dict[int, np.ndarray]] = []
+        self.recv_pos: list[dict[int, np.ndarray]] = []
+        for p, cols in enumerate(self.ext_cols):
+            if cols.size and np.any(np.diff(cols) <= 0):
+                raise PartitionError(f"rank {p}: ext_cols must be strictly increasing")
+            if cols.size and np.any(owner[cols] == p):
+                raise PartitionError(f"rank {p}: ext_cols contains owned columns")
+            by_owner: dict[int, np.ndarray] = {}
+            pos: dict[int, np.ndarray] = {}
+            if cols.size:
+                owners = owner[cols]
+                for q in np.unique(owners):
+                    sel = np.flatnonzero(owners == q)
+                    by_owner[int(q)] = cols[sel]
+                    pos[int(q)] = sel.astype(np.int64)
+            self.recv_from.append(by_owner)
+            self.recv_pos.append(pos)
+        self.send_to: list[dict[int, np.ndarray]] = [dict() for _ in range(partition.nparts)]
+        for p, by_owner in enumerate(self.recv_from):
+            for q, ids in by_owner.items():
+                self.send_to[q][p] = ids
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_row_structure(
+        cls, partition: RowPartition, indptr: np.ndarray, indices: np.ndarray
+    ) -> "HaloSchedule":
+        """Build from the global CSR structure of a matrix distributed by rows."""
+        nparts = partition.nparts
+        ext: list[np.ndarray] = []
+        owner = partition.owner
+        for p in range(nparts):
+            rows = partition.global_ids[p]
+            if rows.size:
+                starts = indptr[rows]
+                ends = indptr[rows + 1]
+                total = int((ends - starts).sum())
+                cols = np.empty(total, dtype=np.int64)
+                off = 0
+                for s, e in zip(starts, ends):
+                    cols[off : off + (e - s)] = indices[s:e]
+                    off += e - s
+                cols = np.unique(cols)
+                ext.append(cols[owner[cols] != p])
+            else:
+                ext.append(np.empty(0, dtype=np.int64))
+        return cls(partition, ext)
+
+    @classmethod
+    def from_pattern(cls, pattern, partition: RowPartition) -> "HaloSchedule":
+        """Build from a :class:`SparsityPattern` or :class:`CSRMatrix`."""
+        return cls.from_row_structure(partition, pattern.indptr, pattern.indices)
+
+    # ------------------------------------------------------------------
+    def halo_size(self, rank: int) -> int:
+        """Number of halo values the rank receives per update."""
+        return self.ext_cols[rank].size
+
+    def edges(self) -> set[tuple[int, int]]:
+        """Directed (sender, receiver) pairs with non-empty exchanges."""
+        out = set()
+        for p, by_owner in enumerate(self.recv_from):
+            for q, ids in by_owner.items():
+                if ids.size:
+                    out.add((q, p))
+        return out
+
+    def total_halo_values(self) -> int:
+        """Total values moved per halo update (sum over all messages)."""
+        return sum(int(c.size) for c in self.ext_cols)
+
+    def neighbour_counts(self) -> np.ndarray:
+        """Per-rank number of neighbours it receives from."""
+        return np.array(
+            [sum(1 for ids in d.values() if ids.size) for d in self.recv_from],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    def update(
+        self, x_parts: list[np.ndarray], tracker: CommTracker | None = None
+    ) -> list[np.ndarray]:
+        """Bulk-synchronous halo update: return per-rank halo buffers.
+
+        ``x_parts[p]`` holds rank ``p``'s local values in local order.  Each
+        exchanged message is recorded in ``tracker`` (8 bytes per value).
+        """
+        part = self.partition
+        halos = [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(part.nparts)]
+        for p in range(part.nparts):
+            for q, ids in self.recv_from[p].items():
+                if ids.size == 0:
+                    continue
+                values = x_parts[q][part.local_index[ids]]
+                halos[p][self.recv_pos[p][q]] = values
+                if tracker is not None:
+                    tracker.record_p2p(q, p, 8 * ids.size)
+        return halos
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HaloSchedule):
+            return NotImplemented
+        if self.partition != other.partition:
+            return False
+        return all(
+            np.array_equal(a, b) for a, b in zip(self.ext_cols, other.ext_cols)
+        )
+
+    def __hash__(self):
+        raise TypeError("HaloSchedule is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"HaloSchedule(nparts={self.partition.nparts}, "
+            f"total_halo={self.total_halo_values()}, edges={len(self.edges())})"
+        )

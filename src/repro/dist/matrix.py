@@ -1,0 +1,191 @@
+"""Row-distributed sparse matrices with localised column indexing.
+
+Each rank stores its rows as a :class:`LocalMatrix` whose columns are
+renumbered into the *local index space* (paper §3): positions
+``[0, n_local)`` are the rank's own unknowns (ascending global order) and
+positions ``[n_local, n_local + n_halo)`` are the halo unknowns in the order
+of :attr:`HaloSchedule.ext_cols`.  The SpMV multiplying vector is the
+concatenation ``[x_local | x_halo]`` — the memory layout whose cache lines
+the FSAIE/FSAIE-Comm extensions exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.halo import HaloSchedule
+from repro.dist.partition_map import RowPartition
+from repro.dist.vector import DistVector
+from repro.errors import ShapeError
+from repro.mpisim.tracker import CommTracker
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["LocalMatrix", "DistMatrix"]
+
+
+class LocalMatrix:
+    """One rank's block of a row-distributed matrix.
+
+    Attributes
+    ----------
+    csr:
+        ``n_local × (n_local + n_halo)`` CSR block in local column indexing.
+    global_rows:
+        Global ids of the local rows (ascending).
+    ext_cols:
+        Global ids of the halo columns (ascending), aligned with local column
+        positions ``n_local + k``.
+    rank:
+        Owning rank.
+    """
+
+    __slots__ = ("rank", "csr", "global_rows", "ext_cols")
+
+    def __init__(self, rank: int, csr: CSRMatrix, global_rows: np.ndarray, ext_cols: np.ndarray):
+        self.rank = int(rank)
+        self.csr = csr
+        self.global_rows = np.asarray(global_rows, dtype=np.int64)
+        self.ext_cols = np.asarray(ext_cols, dtype=np.int64)
+        if csr.shape != (self.global_rows.size, self.global_rows.size + self.ext_cols.size):
+            raise ShapeError(
+                f"rank {rank}: local CSR shape {csr.shape} inconsistent with "
+                f"{self.global_rows.size} rows and {self.ext_cols.size} halo columns"
+            )
+
+    @property
+    def n_local(self) -> int:
+        """Number of owned rows."""
+        return self.global_rows.size
+
+    @property
+    def n_halo(self) -> int:
+        """Number of halo columns."""
+        return self.ext_cols.size
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of the local block."""
+        return self.csr.nnz
+
+    def local_nnz(self) -> int:
+        """Stored entries in the local (non-halo) column block."""
+        return int(np.count_nonzero(self.csr.indices < self.n_local))
+
+    def halo_nnz(self) -> int:
+        """Stored entries in the halo column block."""
+        return self.nnz - self.local_nnz()
+
+    def column_global_id(self, local_col: int) -> int:
+        """Global id of a local column position."""
+        if local_col < self.n_local:
+            return int(self.global_rows[local_col])
+        return int(self.ext_cols[local_col - self.n_local])
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalMatrix(rank={self.rank}, n_local={self.n_local}, "
+            f"n_halo={self.n_halo}, nnz={self.nnz})"
+        )
+
+
+class DistMatrix:
+    """A sparse matrix distributed by rows with a halo exchange schedule."""
+
+    __slots__ = ("partition", "locals", "schedule", "shape")
+
+    def __init__(
+        self,
+        partition: RowPartition,
+        locals_: list[LocalMatrix],
+        schedule: HaloSchedule,
+        shape: tuple[int, int],
+    ):
+        if len(locals_) != partition.nparts:
+            raise ShapeError("need one LocalMatrix per rank")
+        self.partition = partition
+        self.locals = locals_
+        self.schedule = schedule
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, mat: CSRMatrix, partition: RowPartition) -> "DistMatrix":
+        """Distribute a square global matrix by rows according to ``partition``."""
+        if mat.nrows != mat.ncols:
+            raise ShapeError("DistMatrix.from_global expects a square matrix")
+        if mat.nrows != partition.nrows:
+            raise ShapeError("partition size does not match the matrix")
+        schedule = HaloSchedule.from_row_structure(partition, mat.indptr, mat.indices)
+        locals_: list[LocalMatrix] = []
+        for p in range(partition.nparts):
+            rows = partition.global_ids[p]
+            ext = schedule.ext_cols[p]
+            n_local = rows.size
+            # global -> local column map for this rank
+            col_map = np.full(mat.ncols, -1, dtype=np.int64)
+            col_map[rows] = np.arange(n_local, dtype=np.int64)
+            col_map[ext] = n_local + np.arange(ext.size, dtype=np.int64)
+            counts = (mat.indptr[rows + 1] - mat.indptr[rows]).astype(np.int64)
+            indptr = np.zeros(n_local + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            data = np.empty(int(indptr[-1]), dtype=np.float64)
+            for li, g in enumerate(rows):
+                lo, hi = mat.indptr[g], mat.indptr[g + 1]
+                seg = slice(indptr[li], indptr[li + 1])
+                local_cols = col_map[mat.indices[lo:hi]]
+                order = np.argsort(local_cols, kind="stable")
+                indices[seg] = local_cols[order]
+                data[seg] = mat.data[lo:hi][order]
+            csr = CSRMatrix((n_local, n_local + ext.size), indptr, indices, data, check=False)
+            locals_.append(LocalMatrix(p, csr, rows, ext))
+        return cls(partition, locals_, schedule, mat.shape)
+
+    def to_global(self) -> CSRMatrix:
+        """Reassemble the global matrix (testing/debugging helper)."""
+        rows_acc: list[np.ndarray] = []
+        cols_acc: list[np.ndarray] = []
+        vals_acc: list[np.ndarray] = []
+        for lm in self.locals:
+            gl_cols = np.concatenate([lm.global_rows, lm.ext_cols])
+            r, c, v = lm.csr.to_coo()
+            rows_acc.append(lm.global_rows[r])
+            cols_acc.append(gl_cols[c])
+            vals_acc.append(v)
+        return CSRMatrix.from_coo(
+            self.shape,
+            np.concatenate(rows_acc),
+            np.concatenate(cols_acc),
+            np.concatenate(vals_acc),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Total stored entries across all ranks."""
+        return sum(lm.nnz for lm in self.locals)
+
+    def nnz_per_rank(self) -> np.ndarray:
+        """Stored entries per rank."""
+        return np.array([lm.nnz for lm in self.locals], dtype=np.int64)
+
+    def spmv(self, x: DistVector, tracker: CommTracker | None = None) -> DistVector:
+        """Distributed ``y = A·x``: halo update then per-rank local SpMV."""
+        if x.partition != self.partition:
+            raise ShapeError("operand lives on a different partition")
+        halos = self.schedule.update(x.parts, tracker)
+        out_parts = []
+        for p, lm in enumerate(self.locals):
+            xin = np.concatenate([x.parts[p], halos[p]]) if lm.n_halo else x.parts[p]
+            out_parts.append(lm.csr.spmv(xin))
+        return DistVector(self.partition, out_parts)
+
+    def flops_per_rank(self) -> np.ndarray:
+        """SpMV floating-point operations per rank (2 per stored entry)."""
+        return 2 * self.nnz_per_rank()
+
+    def __repr__(self) -> str:
+        return (
+            f"DistMatrix(shape={self.shape}, nparts={self.partition.nparts}, "
+            f"nnz={self.nnz})"
+        )

@@ -1,0 +1,108 @@
+"""Row-distributed dense vectors.
+
+A :class:`DistVector` mirrors the matrix row distribution: rank ``p`` stores
+the entries of the global vector at ``partition.global_ids[p]`` in that
+order.  Reductions (dot products, norms) are recorded as allreduce traffic
+when a tracker is supplied, since in the real system they are the CG solver's
+global synchronisation points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.partition_map import RowPartition
+from repro.errors import ShapeError
+from repro.mpisim.tracker import CommTracker
+
+__all__ = ["DistVector"]
+
+
+class DistVector:
+    """A dense vector distributed by rows across ranks."""
+
+    __slots__ = ("partition", "parts")
+
+    def __init__(self, partition: RowPartition, parts: list[np.ndarray]):
+        if len(parts) != partition.nparts:
+            raise ShapeError("need one part per rank")
+        for p, arr in enumerate(parts):
+            if arr.shape != (partition.size_of(p),):
+                raise ShapeError(
+                    f"rank {p}: part has shape {arr.shape}, expected "
+                    f"({partition.size_of(p)},)"
+                )
+        self.partition = partition
+        self.parts = [np.asarray(a, dtype=np.float64) for a in parts]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, x: np.ndarray, partition: RowPartition) -> "DistVector":
+        """Scatter a global vector onto the partition."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (partition.nrows,):
+            raise ShapeError(f"global vector must have length {partition.nrows}")
+        return cls(partition, [x[ids].copy() for ids in partition.global_ids])
+
+    @classmethod
+    def zeros(cls, partition: RowPartition) -> "DistVector":
+        """All-zero vector on the partition."""
+        return cls(partition, [np.zeros(partition.size_of(p)) for p in range(partition.nparts)])
+
+    def to_global(self) -> np.ndarray:
+        """Gather into a global vector (testing/IO helper)."""
+        out = np.empty(self.partition.nrows, dtype=np.float64)
+        for ids, arr in zip(self.partition.global_ids, self.parts):
+            out[ids] = arr
+        return out
+
+    def copy(self) -> "DistVector":
+        """Deep copy."""
+        return DistVector(self.partition, [a.copy() for a in self.parts])
+
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "DistVector") -> None:
+        if self.partition != other.partition:
+            raise ShapeError("vectors live on different partitions")
+
+    def dot(self, other: "DistVector", tracker: CommTracker | None = None) -> float:
+        """Global dot product (local partials + allreduce)."""
+        self._check_compatible(other)
+        partial = sum(float(np.dot(a, b)) for a, b in zip(self.parts, other.parts))
+        if tracker is not None:
+            tracker.record_collective("allreduce", 8 * self.partition.nparts)
+        return partial
+
+    def norm2(self, tracker: CommTracker | None = None) -> float:
+        """Global Euclidean norm (one allreduce)."""
+        return float(np.sqrt(max(self.dot(self, tracker), 0.0)))
+
+    def axpy(self, alpha: float, x: "DistVector") -> "DistVector":
+        """In-place ``self += alpha·x``; returns self."""
+        self._check_compatible(x)
+        for a, b in zip(self.parts, x.parts):
+            a += alpha * b
+        return self
+
+    def xpay(self, x: "DistVector", alpha: float) -> "DistVector":
+        """In-place ``self = x + alpha·self``; returns self."""
+        self._check_compatible(x)
+        for a, b in zip(self.parts, x.parts):
+            a *= alpha
+            a += b
+        return self
+
+    def scale(self, alpha: float) -> "DistVector":
+        """In-place scalar multiply; returns self."""
+        for a in self.parts:
+            a *= alpha
+        return self
+
+    def fill(self, value: float) -> "DistVector":
+        """Set every entry to ``value``; returns self."""
+        for a in self.parts:
+            a.fill(value)
+        return self
+
+    def __repr__(self) -> str:
+        return f"DistVector(n={self.partition.nrows}, nparts={self.partition.nparts})"

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause without masking
+unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix or pattern violates its structural invariants."""
+
+
+class ShapeError(ReproError):
+    """Operands have incompatible shapes."""
+
+
+class PartitionError(ReproError):
+    """A row partition or graph partition request is invalid."""
+
+
+class CommError(ReproError):
+    """Misuse of the simulated MPI runtime (bad rank, tag, deadlock...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within max iterations.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual_norm:
+        Final residual 2-norm when the solver stopped.
+    """
+
+    def __init__(self, message: str, iterations: int, residual_norm: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+
+
+class NotSPDError(ReproError):
+    """The matrix is not symmetric positive definite where SPD is required."""

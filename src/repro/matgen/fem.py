@@ -1,0 +1,194 @@
+"""Finite-element stiffness matrices for the structural problem class.
+
+The largest group of the paper's test set are *structural problems*
+(Fault_639, msdoor, af_shell, hood, bmwcra_1, shipsec, ldoor, ...): vector
+elasticity discretisations with 2–3 degrees of freedom per node and block
+sparsity.  This module assembles genuine linear-elasticity stiffness
+matrices on structured quadrilateral (2D plane stress) and hexahedral (3D)
+meshes using Gauss quadrature, then pins one boundary to make them SPD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["elasticity2d", "elasticity3d", "shell_like"]
+
+
+def _q4_stiffness(young: float, poisson: float) -> np.ndarray:
+    """8×8 plane-stress stiffness of a unit square Q4 element (2×2 Gauss)."""
+    e, nu = young, poisson
+    c = e / (1.0 - nu * nu)
+    d_mat = c * np.array([[1.0, nu, 0.0], [nu, 1.0, 0.0], [0.0, 0.0, (1.0 - nu) / 2.0]])
+    gp = np.array([-1.0, 1.0]) / np.sqrt(3.0)
+    ke = np.zeros((8, 8))
+    for xi in gp:
+        for eta in gp:
+            # shape function derivatives on the reference square [-1, 1]²
+            dn = 0.25 * np.array(
+                [
+                    [-(1 - eta), (1 - eta), (1 + eta), -(1 + eta)],
+                    [-(1 - xi), -(1 + xi), (1 + xi), (1 - xi)],
+                ]
+            )
+            jac = 0.5 * np.eye(2)  # unit square element: x = (ξ+1)/2
+            dn_xy = np.linalg.solve(jac, dn)
+            b_mat = np.zeros((3, 8))
+            b_mat[0, 0::2] = dn_xy[0]
+            b_mat[1, 1::2] = dn_xy[1]
+            b_mat[2, 0::2] = dn_xy[1]
+            b_mat[2, 1::2] = dn_xy[0]
+            ke += b_mat.T @ d_mat @ b_mat * np.linalg.det(jac)
+    return ke
+
+
+def _hex8_stiffness(young: float, poisson: float) -> np.ndarray:
+    """24×24 stiffness of a unit cube 8-node hexahedron (2×2×2 Gauss)."""
+    e, nu = young, poisson
+    lam = e * nu / ((1 + nu) * (1 - 2 * nu))
+    mu = e / (2 * (1 + nu))
+    d_mat = np.zeros((6, 6))
+    d_mat[:3, :3] = lam
+    d_mat[np.arange(3), np.arange(3)] += 2 * mu
+    d_mat[3:, 3:] = mu * np.eye(3)
+    gp = np.array([-1.0, 1.0]) / np.sqrt(3.0)
+    # reference-node coordinates of the standard hex ordering
+    nodes = np.array(
+        [
+            [-1, -1, -1], [1, -1, -1], [1, 1, -1], [-1, 1, -1],
+            [-1, -1, 1], [1, -1, 1], [1, 1, 1], [-1, 1, 1],
+        ],
+        dtype=np.float64,
+    )
+    ke = np.zeros((24, 24))
+    for xi in gp:
+        for eta in gp:
+            for zeta in gp:
+                dn = np.empty((3, 8))
+                for a in range(8):
+                    sx, sy, sz = nodes[a]
+                    dn[0, a] = 0.125 * sx * (1 + sy * eta) * (1 + sz * zeta)
+                    dn[1, a] = 0.125 * sy * (1 + sx * xi) * (1 + sz * zeta)
+                    dn[2, a] = 0.125 * sz * (1 + sx * xi) * (1 + sy * eta)
+                jac = 0.5 * np.eye(3)  # unit cube element
+                dn_xyz = np.linalg.solve(jac, dn)
+                b_mat = np.zeros((6, 24))
+                for a in range(8):
+                    bx, by, bz = dn_xyz[:, a]
+                    col = 3 * a
+                    b_mat[0, col] = bx
+                    b_mat[1, col + 1] = by
+                    b_mat[2, col + 2] = bz
+                    b_mat[3, col] = by
+                    b_mat[3, col + 1] = bx
+                    b_mat[4, col + 1] = bz
+                    b_mat[4, col + 2] = by
+                    b_mat[5, col] = bz
+                    b_mat[5, col + 2] = bx
+                ke += b_mat.T @ d_mat @ b_mat * np.linalg.det(jac)
+    return ke
+
+
+def _assemble_fem(
+    elem_nodes: np.ndarray, ke: np.ndarray, n_nodes: int, dof: int, pinned: np.ndarray
+) -> CSRMatrix:
+    """Scatter element stiffness into global COO and pin boundary DOFs.
+
+    Pinned DOFs keep only a unit diagonal (homogeneous Dirichlet), which is
+    what makes the assembled operator SPD.
+    """
+    n_dofs = n_nodes * dof
+    edofs = (elem_nodes[:, :, None] * dof + np.arange(dof)[None, None, :]).reshape(
+        elem_nodes.shape[0], -1
+    )
+    k = edofs.shape[1]
+    rows = np.repeat(edofs, k, axis=1).ravel()
+    cols = np.tile(edofs, (1, k)).ravel()
+    vals = np.tile(ke.ravel(), elem_nodes.shape[0])
+    pin_mask = np.zeros(n_dofs, dtype=bool)
+    pin_mask[pinned] = True
+    keep = ~(pin_mask[rows] | pin_mask[cols])
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    rows = np.concatenate([rows, np.flatnonzero(pin_mask)])
+    cols = np.concatenate([cols, np.flatnonzero(pin_mask)])
+    vals = np.concatenate([vals, np.ones(int(pin_mask.sum()))])
+    return CSRMatrix.from_coo((n_dofs, n_dofs), rows, cols, vals)
+
+
+def elasticity2d(
+    nx: int, ny: int, *, young: float = 1.0, poisson: float = 0.3
+) -> CSRMatrix:
+    """Plane-stress elasticity on an ``nx × ny`` element grid (2 DOF/node).
+
+    The left edge is clamped.  Matrix order is ``2·(nx+1)·(ny+1)``.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("element grid must be at least 1×1")
+    nnx, nny = nx + 1, ny + 1
+    node = np.arange(nnx * nny, dtype=np.int64).reshape(nnx, nny)
+    elems = np.stack(
+        [
+            node[:-1, :-1].ravel(),
+            node[1:, :-1].ravel(),
+            node[1:, 1:].ravel(),
+            node[:-1, 1:].ravel(),
+        ],
+        axis=1,
+    )
+    ke = _q4_stiffness(young, poisson)
+    clamped_nodes = node[0, :].ravel()
+    pinned = (clamped_nodes[:, None] * 2 + np.arange(2)[None, :]).ravel()
+    return _assemble_fem(elems, ke, nnx * nny, 2, pinned)
+
+
+def elasticity3d(
+    nx: int, ny: int, nz: int, *, young: float = 1.0, poisson: float = 0.3
+) -> CSRMatrix:
+    """3-D linear elasticity on an ``nx × ny × nz`` hex grid (3 DOF/node).
+
+    One face (x = 0) is clamped.  Matrix order is ``3·(nx+1)(ny+1)(nz+1)``;
+    ~81 nonzeros per interior row, matching the density of the structural
+    matrices in the paper's set.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("element grid must be at least 1×1×1")
+    nnx, nny, nnz_ = nx + 1, ny + 1, nz + 1
+    node = np.arange(nnx * nny * nnz_, dtype=np.int64).reshape(nnx, nny, nnz_)
+    elems = np.stack(
+        [
+            node[:-1, :-1, :-1].ravel(),
+            node[1:, :-1, :-1].ravel(),
+            node[1:, 1:, :-1].ravel(),
+            node[:-1, 1:, :-1].ravel(),
+            node[:-1, :-1, 1:].ravel(),
+            node[1:, :-1, 1:].ravel(),
+            node[1:, 1:, 1:].ravel(),
+            node[:-1, 1:, 1:].ravel(),
+        ],
+        axis=1,
+    )
+    ke = _hex8_stiffness(young, poisson)
+    clamped_nodes = node[0, :, :].ravel()
+    pinned = (clamped_nodes[:, None] * 3 + np.arange(3)[None, :]).ravel()
+    return _assemble_fem(elems, ke, node.size, 3, pinned)
+
+
+def shell_like(nx: int, ny: int, *, thickness_ratio: float = 1e-2) -> CSRMatrix:
+    """Thin-shell surrogate: 2D elasticity with a weak bending-like coupling.
+
+    Reproduces the character of the af_shell/ldoor matrices — structural
+    sparsity with strongly varying entry scales — by combining in-plane
+    stiffness with a scaled-down second operator on the same mesh.
+    """
+    base = elasticity2d(nx, ny)
+    bend = elasticity2d(nx, ny, young=thickness_ratio, poisson=0.2)
+    rows1, cols1, vals1 = base.to_coo()
+    rows2, cols2, vals2 = bend.to_coo()
+    return CSRMatrix.from_coo(
+        base.shape,
+        np.concatenate([rows1, rows2]),
+        np.concatenate([cols1, cols2]),
+        np.concatenate([vals1, vals2]),
+    )

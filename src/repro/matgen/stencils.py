@@ -1,0 +1,204 @@
+"""Structured-grid stencil matrices (finite differences).
+
+These generate the SPD problem classes of the paper's test set that come
+from PDE discretisations on grids: Poisson (2D/3D problems), anisotropic
+diffusion (thermal, CFD), wide-stencil variants (the dense "nd" 2D/3D
+problems and acoustics).  All matrices are symmetric positive definite by
+construction (weak diagonal dominance plus Dirichlet boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic2d",
+    "anisotropic3d",
+    "wide_stencil_3d",
+    "stretched_grid_2d",
+]
+
+
+def _assemble(n: int, rows, cols, vals) -> CSRMatrix:
+    return CSRMatrix.from_coo((n, n), rows, cols, vals)
+
+
+def poisson2d(nx: int, ny: int | None = None) -> CSRMatrix:
+    """5-point Laplacian on an ``nx × ny`` grid with Dirichlet boundaries."""
+    ny = nx if ny is None else ny
+    return anisotropic2d(nx, ny, 1.0, 1.0)
+
+
+def anisotropic2d(nx: int, ny: int, eps_x: float, eps_y: float) -> CSRMatrix:
+    """5-point anisotropic diffusion ``-εx ∂²/∂x² − εy ∂²/∂y²``.
+
+    Strong anisotropy (``eps_y ≪ eps_x``) produces the slow-converging
+    matrices typical of thermal and boundary-layer CFD problems.
+    """
+    if nx < 1 or ny < 1 or eps_x <= 0 or eps_y <= 0:
+        raise ValueError("grid dims must be >= 1 and coefficients positive")
+    n = nx * ny
+    gid = np.arange(n, dtype=np.int64).reshape(nx, ny)
+    rows, cols, vals = [], [], []
+    diag = np.full((nx, ny), 2.0 * (eps_x + eps_y))
+    rows.append(gid.ravel())
+    cols.append(gid.ravel())
+    vals.append(diag.ravel())
+    # x neighbours
+    rows.append(gid[:-1, :].ravel()); cols.append(gid[1:, :].ravel())
+    vals.append(np.full((nx - 1) * ny, -eps_x))
+    rows.append(gid[1:, :].ravel()); cols.append(gid[:-1, :].ravel())
+    vals.append(np.full((nx - 1) * ny, -eps_x))
+    # y neighbours
+    rows.append(gid[:, :-1].ravel()); cols.append(gid[:, 1:].ravel())
+    vals.append(np.full(nx * (ny - 1), -eps_y))
+    rows.append(gid[:, 1:].ravel()); cols.append(gid[:, :-1].ravel())
+    vals.append(np.full(nx * (ny - 1), -eps_y))
+    return _assemble(
+        n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return anisotropic3d(nx, ny, nz, 1.0, 1.0, 1.0)
+
+
+def anisotropic3d(
+    nx: int, ny: int, nz: int, ex: float, ey: float, ez: float
+) -> CSRMatrix:
+    """7-point anisotropic diffusion in 3D."""
+    if min(nx, ny, nz) < 1 or min(ex, ey, ez) <= 0:
+        raise ValueError("grid dims must be >= 1 and coefficients positive")
+    n = nx * ny * nz
+    gid = np.arange(n, dtype=np.int64).reshape(nx, ny, nz)
+    rows, cols, vals = [], [], []
+    rows.append(gid.ravel()); cols.append(gid.ravel())
+    vals.append(np.full(n, 2.0 * (ex + ey + ez)))
+    for axis, eps in ((0, ex), (1, ey), (2, ez)):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis] = slice(None, -1)
+        hi[axis] = slice(1, None)
+        a = gid[tuple(lo)].ravel()
+        b = gid[tuple(hi)].ravel()
+        rows.append(a); cols.append(b); vals.append(np.full(a.size, -eps))
+        rows.append(b); cols.append(a); vals.append(np.full(a.size, -eps))
+    return _assemble(
+        n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def wide_stencil_3d(
+    nx: int,
+    radius: int = 2,
+    *,
+    dominance: float = 1.002,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Dense-row SPD matrix: all neighbours within Chebyshev ``radius``.
+
+    Surrogate for the very dense "nd"-family 2D/3D problems (hundreds of
+    nonzeros per row) and for acoustics problems.  Off-diagonal weights decay
+    with distance; the diagonal dominates, keeping the matrix SPD.
+
+    ``jitter`` multiplies each node's coupling strength by a log-uniform
+    factor in ``[e^-jitter, e^jitter]``: heterogeneous coefficients, as in
+    unstructured meshes (Queen_4147-class problems), which both worsens the
+    conditioning and spreads the inverse-factor magnitudes the extension
+    filter sees.
+    """
+    if nx < 1 or radius < 1:
+        raise ValueError("nx and radius must be >= 1")
+    if dominance <= 1.0:
+        raise ValueError("dominance must exceed 1 for positive definiteness")
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    n = nx**3
+    gid = np.arange(n, dtype=np.int64).reshape(nx, nx, nx)
+    rng = np.random.default_rng(seed)
+    # per-node coefficient field; an edge weight uses sqrt(c_i * c_j) so the
+    # matrix stays symmetric
+    node_coef = (
+        np.exp(rng.uniform(-jitter, jitter, size=n)) if jitter > 0 else np.ones(n)
+    )
+    rows, cols, vals = [], [], []
+    offsets = [
+        (dx, dy, dz)
+        for dx in range(-radius, radius + 1)
+        for dy in range(-radius, radius + 1)
+        for dz in range(-radius, radius + 1)
+        if (dx, dy, dz) != (0, 0, 0)
+    ]
+    row_weight = np.zeros(n)  # per-row |off-diagonal| sum: rows on the
+    # boundary have fewer neighbours, so a global weight sum would make them
+    # grossly dominant and the matrix artificially well conditioned
+    for dx, dy, dz in offsets:
+        w = 1.0 / (dx * dx + dy * dy + dz * dz)
+        src = gid[
+            max(0, -dx) : nx - max(0, dx),
+            max(0, -dy) : nx - max(0, dy),
+            max(0, -dz) : nx - max(0, dz),
+        ].ravel()
+        dst = gid[
+            max(0, dx) : nx + min(0, dx),
+            max(0, dy) : nx + min(0, dy),
+            max(0, dz) : nx + min(0, dz),
+        ].ravel()
+        edge_w = w * np.sqrt(node_coef[src] * node_coef[dst])
+        rows.append(src)
+        cols.append(dst)
+        vals.append(-edge_w)
+        row_weight[src] += edge_w
+    rows.append(gid.ravel())
+    cols.append(gid.ravel())
+    vals.append(row_weight * dominance)
+    return _assemble(
+        n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def stretched_grid_2d(nx: int, ny: int, stretch: float = 20.0) -> CSRMatrix:
+    """Diffusion on a grid geometrically stretched towards one boundary.
+
+    Mimics CFD meshes with boundary-layer refinement: coefficient ratios vary
+    smoothly across the domain, producing the wide spread of row scales seen
+    in the cfd1/cfd2 matrices.
+    """
+    if nx < 2 or ny < 2 or stretch <= 0:
+        raise ValueError("need nx, ny >= 2 and positive stretch")
+    n = nx * ny
+    gid = np.arange(n, dtype=np.int64).reshape(nx, ny)
+    # cell spacings grow geometrically along y
+    hy = stretch ** (np.arange(ny) / max(ny - 1, 1))
+    hx = np.ones(nx)
+    rows, cols, vals = [], [], []
+    diag = np.zeros((nx, ny))
+    for i in range(nx - 1):
+        w = 2.0 / (hx[i] + hx[i + 1])
+        a, b = gid[i, :], gid[i + 1, :]
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(ny, -w), np.full(ny, -w)]
+        diag[i, :] += w
+        diag[i + 1, :] += w
+    for j in range(ny - 1):
+        w = 2.0 / (hy[j] + hy[j + 1])
+        a, b = gid[:, j], gid[:, j + 1]
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(nx, -w), np.full(nx, -w)]
+        diag[:, j] += w
+        diag[:, j + 1] += w
+    diag += 1e-3  # Dirichlet-like shift keeps the operator definite
+    rows.append(gid.ravel()); cols.append(gid.ravel()); vals.append(diag.ravel())
+    return _assemble(
+        n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )

@@ -1,0 +1,290 @@
+"""The evaluation matrix catalog: synthetic analogs of Tables 1 and 2.
+
+The paper evaluates 39 SuiteSparse SPD matrices (Table 1) plus 8 very large
+ones (Table 2).  Offline, each catalog entry pairs the paper's reference
+numbers (solver times, iterations, %NNZ — used by EXPERIMENTS.md for
+paper-vs-measured comparison) with a *generator* that builds a synthetic
+matrix of the same problem class at laptop scale:
+
+* 2D/3D problems      → stencil Laplacians / wide-stencil dense-row matrices,
+* structural problems → assembled FEM elasticity and shell surrogates,
+* thermal / CFD       → anisotropic and stretched-grid diffusion,
+* circuit             → random circuit-graph Laplacians,
+* electromagnetics    → stencil + skew couplings,
+* model reduction     → dense-banded SPD,
+* acoustics           → 27-point stencils with strong diagonals.
+
+Pass ``scale`` to :meth:`MatrixCase.build` to grow a case towards paper
+scale; linear dimensions scale as ``scale^(1/d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.matgen.fem import elasticity2d, elasticity3d, shell_like
+from repro.matgen.graphs import banded_spd, circuit_laplacian, electromagnetics_like
+from repro.matgen.stencils import (
+    anisotropic2d,
+    poisson2d,
+    stretched_grid_2d,
+    wide_stencil_3d,
+)
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "PaperRecord",
+    "MatrixCase",
+    "table1_cases",
+    "table2_cases",
+    "get_case",
+    "default_rank_count",
+]
+
+
+@dataclass(frozen=True)
+class PaperRecord:
+    """Reference numbers from the paper's Table 1 / Table 2 row."""
+
+    fsai_time: float
+    fsai_iters: int
+    fsaie_time: float
+    fsaie_iters: int
+    fsaie_nnz_pct: float
+    comm_time: float
+    comm_iters: int
+    comm_nnz_pct: float
+    cores: int
+    nodes: int
+    cores_zen2: int | None = None
+    nodes_zen2: int | None = None
+
+
+@dataclass(frozen=True)
+class MatrixCase:
+    """One evaluation matrix: paper metadata plus a synthetic generator."""
+
+    case_id: int
+    name: str
+    problem_type: str
+    paper_rows: int
+    paper_nnz: int
+    generator: Callable[[float], CSRMatrix]
+    paper: PaperRecord
+    large: bool = False
+
+    def build(self, scale: float = 1.0) -> CSRMatrix:
+        """Generate the synthetic analog; ``scale`` grows the problem."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.generator(scale)
+
+    def __repr__(self) -> str:
+        return f"MatrixCase({self.case_id}, {self.name!r}, {self.problem_type!r})"
+
+
+def _d(base: int, scale: float, dims: int, minimum: int = 2) -> int:
+    """Scale a linear dimension so total size grows ≈ linearly with scale."""
+    return max(minimum, int(round(base * scale ** (1.0 / dims))))
+
+
+def _shifted(mat: CSRMatrix, shift: float) -> CSRMatrix:
+    """Add ``shift · max|diag|`` to the diagonal (well-conditioned classes)."""
+    rows = np.arange(mat.nrows, dtype=np.int64)
+    r, c, v = mat.to_coo()
+    peak = float(np.abs(mat.diagonal()).max())
+    return CSRMatrix.from_coo(
+        mat.shape,
+        np.concatenate([r, rows]),
+        np.concatenate([c, rows]),
+        np.concatenate([v, np.full(mat.nrows, shift * peak)]),
+    )
+
+
+def default_rank_count(
+    nnz: int, *, target_per_rank: int = 6000, lo: int = 2, hi: int = 12
+) -> int:
+    """Scaled-down version of the paper's workload rule (§5.2).
+
+    The paper starts at 2 M nonzeros per MPI process; at catalog scale the
+    same proportionality gives a few thousand per rank.
+    """
+    return int(np.clip(round(nnz / target_per_rank), lo, hi))
+
+
+# ----------------------------------------------------------------------
+# Table 1 (39 matrices, Skylake reference results, dynamic Filter 0.01)
+# ----------------------------------------------------------------------
+def table1_cases() -> list[MatrixCase]:
+    """The 39-matrix evaluation set with the paper's Skylake reference data."""
+    c = []
+
+    def add(case_id, name, ptype, rows, nnz, gen, rec):
+        c.append(MatrixCase(case_id, name, ptype, rows, nnz, gen, rec))
+
+    add(1, "PFlow_742", "2D/3D", 742793, 37138461,
+        lambda s: wide_stencil_3d(_d(9, s, 3), 1),
+        PaperRecord(1.43, 2775, 0.767, 1458, 17.44, 0.706, 1340, 19.30, 1152, 24, 1152, 9))
+    add(2, "nd24k", "2D/3D", 72000, 28715634,
+        lambda s: wide_stencil_3d(_d(7, s, 3), 2),
+        PaperRecord(0.652, 553, 0.551, 490, 7.14, 0.548, 435, 14.26, 432, 9, 512, 4))
+    add(3, "Fault_639", "structural", 638802, 27245944,
+        lambda s: elasticity3d(_d(4, s, 3), _d(4, s, 3), _d(4, s, 3)),
+        PaperRecord(1.16, 1923, 0.571, 939, 24.50, 0.528, 856, 27.69, 864, 18, 896, 7))
+    add(4, "msdoor", "structural", 415863, 19173163,
+        lambda s: elasticity2d(_d(26, s, 2), _d(26, s, 2)),
+        PaperRecord(1.74, 3599, 1.46, 2833, 42.50, 1.39, 2748, 43.63, 576, 12, 640, 5))
+    add(5, "af_shell7", "structural (subsequent)", 504855, 17579155,
+        lambda s: shell_like(_d(24, s, 2), _d(24, s, 2)),
+        PaperRecord(0.536, 1800, 0.487, 1541, 47.86, 0.479, 1528, 50.20, 1104, 23, 1152, 9))
+    add(6, "af_shell8", "structural (subsequent)", 504855, 17579155,
+        lambda s: shell_like(_d(24, s, 2), _d(24, s, 2), thickness_ratio=2e-2),
+        PaperRecord(0.529, 1800, 0.479, 1541, 47.86, 0.476, 1528, 50.20, 1104, 23, 1152, 9))
+    add(7, "af_shell4", "structural (subsequent)", 504855, 17562051,
+        lambda s: shell_like(_d(25, s, 2), _d(23, s, 2)),
+        PaperRecord(0.518, 1800, 0.481, 1542, 47.89, 0.468, 1530, 50.26, 1104, 23, 1152, 9))
+    add(8, "af_shell3", "structural (subsequent)", 504855, 17562051,
+        lambda s: shell_like(_d(23, s, 2), _d(25, s, 2)),
+        PaperRecord(0.524, 1800, 0.522, 1542, 47.89, 0.481, 1530, 50.26, 1104, 23, 1152, 9))
+    add(9, "nd12k", "2D/3D", 36000, 14220946,
+        lambda s: wide_stencil_3d(_d(6, s, 3), 2),
+        PaperRecord(0.491, 516, 0.430, 452, 7.19, 0.387, 403, 14.59, 240, 5, 256, 2))
+    add(10, "crankseg_2", "structural", 63838, 14148858,
+        lambda s: elasticity3d(_d(4, s, 3), _d(4, s, 3), _d(3, s, 3)),
+        PaperRecord(0.177, 215, 0.144, 171, 17.65, 0.135, 160, 22.04, 240, 5, 256, 2))
+    add(11, "bmwcra_1", "structural", 148770, 10641602,
+        lambda s: elasticity3d(_d(4, s, 3), _d(3, s, 3), _d(4, s, 3), poisson=0.35),
+        PaperRecord(1.09, 2325, 0.891, 1850, 36.02, 0.885, 1800, 40.16, 336, 7, 384, 3))
+    add(12, "crankseg_1", "structural", 52804, 10614210,
+        lambda s: elasticity3d(_d(3, s, 3), _d(4, s, 3), _d(3, s, 3)),
+        PaperRecord(0.119, 216, 0.0995, 177, 14.65, 0.0911, 161, 20.05, 336, 7, 384, 3))
+    add(13, "hood", "structural", 220542, 9895422,
+        lambda s: shell_like(_d(22, s, 2), _d(22, s, 2), thickness_ratio=5e-3),
+        PaperRecord(0.111, 397, 0.0914, 312, 43.07, 0.0927, 315, 44.76, 624, 13, 640, 5))
+    add(14, "thermal2", "thermal", 1228045, 8580313,
+        lambda s: anisotropic2d(_d(52, s, 2), _d(52, s, 2), 1.0, 0.2),
+        PaperRecord(1.07, 2799, 0.941, 2117, 165.76, 0.960, 2113, 166.53, 528, 11, 512, 4))
+    add(15, "G3_circuit", "circuit", 1585478, 7660826,
+        lambda s: circuit_laplacian(_d(3600, s, 1), avg_degree=4.0, seed=15),
+        PaperRecord(0.622, 1715, 0.592, 1286, 218.45, 0.552, 1283, 219.14, 480, 10, 512, 4))
+    add(16, "nd6k", "2D/3D", 18000, 6897316,
+        lambda s: wide_stencil_3d(_d(5, s, 3), 2),
+        PaperRecord(0.479, 476, 0.419, 413, 9.84, 0.374, 364, 17.58, 96, 2, 128, 1))
+    add(17, "consph", "2D/3D", 83334, 6010480,
+        lambda s: wide_stencil_3d(_d(6, s, 3), 2),
+        PaperRecord(0.313, 634, 0.295, 575, 37.99, 0.294, 562, 46.19, 192, 4, 128, 1))
+    add(18, "boneS01", "model reduction", 127224, 5516602,
+        lambda s: banded_spd(_d(1100, s, 1), 10, seed=18),
+        PaperRecord(0.362, 847, 0.351, 783, 47.78, 0.351, 779, 51.92, 192, 4, 128, 1))
+    add(19, "tmt_sym", "electromagnetics", 726713, 5080961,
+        lambda s: electromagnetics_like(_d(11, s, 3), coupling=0.3, seed=19),
+        PaperRecord(0.776, 2319, 0.693, 1888, 193.84, 0.708, 1883, 195.69, 336, 7, 256, 2))
+    add(20, "ecology2", "2D/3D", 999999, 4995991,
+        lambda s: poisson2d(_d(55, s, 2)),
+        PaperRecord(0.989, 3428, 0.844, 2510, 276.44, 0.853, 2502, 278.05, 336, 7, 256, 2))
+    add(21, "shipsec5", "structural", 179860, 4598604,
+        lambda s: shell_like(_d(26, s, 2), _d(20, s, 2)),
+        PaperRecord(0.473, 1618, 0.426, 1427, 25.86, 0.429, 1424, 29.05, 288, 6, 256, 2))
+    add(22, "offshore", "electromagnetics", 259789, 4242673,
+        lambda s: electromagnetics_like(_d(10, s, 3), coupling=0.25, seed=22),
+        PaperRecord(0.396, 794, 0.336, 641, 54.06, 0.334, 635, 56.89, 144, 3, 128, 1))
+    add(23, "smt", "structural", 25710, 3749582,
+        lambda s: elasticity3d(_d(3, s, 3), _d(3, s, 3), _d(4, s, 3)),
+        PaperRecord(0.309, 882, 0.203, 551, 24.19, 0.182, 485, 31.15, 240, 5, 256, 2))
+    add(24, "parabolic_fem", "CFD", 525825, 3674625,
+        lambda s: stretched_grid_2d(_d(48, s, 2), _d(48, s, 2), stretch=30.0),
+        PaperRecord(0.404, 1481, 0.349, 1077, 116.57, 0.350, 1076, 116.87, 240, 5, 256, 2))
+    add(25, "Dubcova3", "2D/3D", 146689, 3636643,
+        lambda s: elasticity2d(_d(33, s, 2), _d(33, s, 2), poisson=0.25),
+        PaperRecord(0.0385, 152, 0.0335, 120, 97.31, 0.0328, 117, 99.67, 240, 5, 256, 2))
+    add(26, "shipsec1", "structural", 140874, 3568176,
+        lambda s: shell_like(_d(24, s, 2), _d(18, s, 2)),
+        PaperRecord(0.592, 1987, 0.568, 1874, 27.56, 0.570, 1878, 30.99, 240, 5, 256, 2))
+    add(27, "nd3k", "2D/3D", 9000, 3279690,
+        lambda s: wide_stencil_3d(_d(5, s, 3), 2),
+        PaperRecord(0.357, 406, 0.306, 342, 11.38, 0.284, 316, 17.55, 48, 1, 128, 1))
+    add(28, "cfd2", "CFD", 123440, 3085406,
+        lambda s: stretched_grid_2d(_d(45, s, 2), _d(45, s, 2), stretch=100.0),
+        PaperRecord(0.659, 2590, 0.522, 1847, 106.42, 0.530, 1853, 115.10, 192, 4, 256, 2))
+    add(29, "nasasrb", "structural", 54870, 2677324,
+        lambda s: shell_like(_d(24, s, 2), _d(24, s, 2), thickness_ratio=1e-3),
+        PaperRecord(0.715, 2765, 0.703, 2653, 15.96, 0.698, 2629, 17.60, 144, 3, 128, 1))
+    add(30, "oilpan", "structural", 73752, 2148558,
+        lambda s: shell_like(_d(22, s, 2), _d(17, s, 2)),
+        PaperRecord(0.404, 1554, 0.339, 1301, 20.65, 0.337, 1285, 22.28, 144, 3, 128, 1))
+    add(31, "cfd1", "CFD", 70656, 1825580,
+        lambda s: stretched_grid_2d(_d(36, s, 2), _d(36, s, 2), stretch=60.0),
+        PaperRecord(0.401, 933, 0.381, 753, 101.18, 0.377, 750, 104.75, 48, 1, 128, 1))
+    add(32, "qa8fm", "acoustics", 66127, 1660579,
+        lambda s: _shifted(wide_stencil_3d(_d(6, s, 3), 1), 3.0),
+        PaperRecord(0.00535, 13, 0.00468, 11, 27.33, 0.00476, 11, 29.27, 48, 1, 128, 1))
+    add(33, "2cubes_sphere", "electromagnetics", 101492, 1647264,
+        lambda s: _shifted(electromagnetics_like(_d(9, s, 3), coupling=0.15, seed=33), 4.0),
+        PaperRecord(0.00601, 12, 0.00558, 11, 12.84, 0.00559, 11, 13.37, 48, 1, 128, 1))
+    add(34, "thermomech_dM", "thermal", 204316, 1423116,
+        lambda s: _shifted(anisotropic2d(_d(42, s, 2), _d(42, s, 2), 1.0, 0.5), 6.0),
+        PaperRecord(0.00292, 9, 0.00298, 9, 6.09, 0.00298, 9, 6.21, 96, 2, 128, 1))
+    add(35, "msc10848", "structural", 10848, 1229776,
+        lambda s: elasticity3d(_d(3, s, 3), _d(3, s, 3), _d(3, s, 3), poisson=0.32),
+        PaperRecord(0.251, 711, 0.186, 489, 27.11, 0.184, 482, 28.72, 48, 1, 128, 1))
+    add(36, "Dubcova2", "2D/3D", 65025, 1030225,
+        lambda s: elasticity2d(_d(28, s, 2), _d(28, s, 2), poisson=0.25),
+        PaperRecord(0.0426, 155, 0.0377, 113, 158.66, 0.0376, 112, 160.15, 48, 1, 128, 1))
+    add(37, "gyro_k", "model reduction (duplicate)", 17361, 1021159,
+        lambda s: banded_spd(_d(700, s, 1), 14, decay=0.85, seed=37),
+        PaperRecord(1.23, 4363, 0.934, 3101, 38.46, 0.927, 3116, 39.28, 48, 1, 128, 1))
+    add(38, "gyro", "model reduction", 17361, 1021159,
+        lambda s: banded_spd(_d(700, s, 1), 14, decay=0.85, seed=38),
+        PaperRecord(1.25, 4382, 0.930, 3106, 38.46, 0.926, 3071, 39.28, 48, 1, 128, 1))
+    add(39, "olafu", "structural", 16146, 1015156,
+        lambda s: elasticity2d(_d(28, s, 2), _d(22, s, 2), poisson=0.4),
+        PaperRecord(0.476, 1768, 0.365, 1330, 20.57, 0.364, 1324, 21.45, 48, 1, 128, 1))
+    return c
+
+
+# ----------------------------------------------------------------------
+# Table 2 (8 large matrices, Zen 2 reference results, Filter 0.01)
+# ----------------------------------------------------------------------
+def table2_cases() -> list[MatrixCase]:
+    """The large-scale set (paper runs these on up to 32 768 cores)."""
+    cases = []
+
+    def add(case_id, name, ptype, rows, nnz, gen, rec):
+        cases.append(MatrixCase(case_id, name, ptype, rows, nnz, gen, rec, large=True))
+
+    add(1, "Queen_4147", "2D/3D", 4147110, 316548962,
+        lambda s: wide_stencil_3d(_d(9, s, 3), 2),
+        PaperRecord(1.09, 5735, 0.940, 4958, 9.38, 0.900, 4755, 13.54, 32768, 256))
+    add(2, "Bump_2911", "2D/3D", 2911419, 127729899,
+        lambda s: wide_stencil_3d(_d(11, s, 3), 1),
+        PaperRecord(0.470, 2297, 0.450, 2206, 7.35, 0.450, 2206, 9.14, 7936, 62))
+    add(3, "Flan_1565", "structural", 1564794, 114165372,
+        lambda s: shell_like(_d(28, s, 2), _d(28, s, 2)),
+        PaperRecord(0.870, 5299, 0.790, 4751, 14.90, 0.770, 4578, 17.90, 7168, 56))
+    add(4, "audikw_1", "structural", 943695, 77651847,
+        lambda s: elasticity3d(_d(5, s, 3), _d(5, s, 3), _d(4, s, 3)),
+        PaperRecord(0.280, 1453, 0.240, 1212, 48.20, 0.220, 1114, 62.56, 4864, 38))
+    add(5, "Geo_1438", "structural", 1437960, 60236322,
+        lambda s: elasticity3d(_d(5, s, 3), _d(4, s, 3), _d(4, s, 3)),
+        PaperRecord(0.130, 715, 0.120, 656, 21.26, 0.120, 654, 25.07, 3712, 29))
+    add(6, "Hook_1498", "structural", 1498023, 59374451,
+        lambda s: elasticity3d(_d(4, s, 3), _d(5, s, 3), _d(4, s, 3), poisson=0.35),
+        PaperRecord(0.400, 2186, 0.430, 1907, 51.41, 0.360, 1877, 58.64, 3712, 29))
+    add(7, "bone010", "model reduction", 986703, 47851783,
+        lambda s: banded_spd(_d(1400, s, 1), 12, decay=0.8, seed=7),
+        PaperRecord(1.39, 7980, 1.22, 6792, 37.93, 1.21, 6688, 46.90, 2944, 23))
+    add(8, "ldoor", "structural", 952203, 42493817,
+        lambda s: shell_like(_d(26, s, 2), _d(26, s, 2), thickness_ratio=5e-3),
+        PaperRecord(0.150, 1064, 0.140, 939, 36.37, 0.130, 860, 37.90, 2688, 21))
+    return cases
+
+
+def get_case(name: str, *, large: bool = False) -> MatrixCase:
+    """Look up a catalog entry by matrix name."""
+    for case in table2_cases() if large else table1_cases():
+        if case.name == name:
+            return case
+    raise KeyError(f"unknown matrix case {name!r}")

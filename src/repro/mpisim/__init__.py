@@ -1,0 +1,36 @@
+"""Simulated MPI runtime (the repo's distributed-memory substrate).
+
+The paper runs on MPI over up to 32 768 cores; offline we substitute an
+MPI-like SPMD runtime with identical semantics for everything the algorithms
+depend on: ranks, blocking point-to-point messages with tags, and collective
+operations with realistic message patterns.  A :class:`CommTracker` records
+every message so communication-invariance (the paper's core guarantee) is a
+testable property.
+
+Public surface:
+
+* :func:`run_spmd` — execute a rank function on N threads.
+* :class:`Comm`, :class:`ThreadComm`, :class:`SelfComm` — communicators.
+* :data:`SUM`, :data:`MAX`, :data:`MIN` — reduction operators.
+* :class:`CommTracker`, :func:`payload_nbytes` — traffic accounting.
+"""
+
+from repro.mpisim.comm import ANY_TAG, MAX, MIN, SUM, Comm, ReduceOp, SelfComm
+from repro.mpisim.engine import Request, ThreadComm, run_spmd, waitall
+from repro.mpisim.tracker import CommTracker, payload_nbytes
+
+__all__ = [
+    "Comm",
+    "SelfComm",
+    "ThreadComm",
+    "Request",
+    "waitall",
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "ANY_TAG",
+    "run_spmd",
+    "CommTracker",
+    "payload_nbytes",
+]

@@ -1,0 +1,177 @@
+"""Communicator interface of the simulated MPI runtime.
+
+Mirrors the mpi4py surface the paper's solver would use (lower-case
+object-based methods): blocking ``send``/``recv``, ``sendrecv`` and the
+collectives from :mod:`repro.mpisim.collectives`.  Implementations:
+
+* :class:`ThreadComm` (in :mod:`repro.mpisim.engine`) — real message passing
+  between SPMD threads.
+* :class:`SelfComm` — the trivial single-process communicator, so SPMD code
+  also runs with ``size == 1`` without special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.mpisim.tracker import CommTracker
+
+__all__ = ["Comm", "SelfComm", "ReduceOp", "SUM", "MAX", "MIN", "ANY_TAG"]
+
+ANY_TAG = -1
+
+
+class ReduceOp:
+    """A named, associative reduction operator for collectives."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _sum(a, b):
+    if isinstance(a, np.ndarray):
+        return a + b
+    return a + b
+
+
+SUM = ReduceOp("sum", _sum)
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+
+
+class Comm:
+    """Abstract communicator.
+
+    Subclasses provide ``rank``, ``size``, :meth:`send` and :meth:`recv`;
+    every collective is implemented generically on top of those two
+    primitives in :mod:`repro.mpisim.collectives`, so the communication
+    tracker observes the genuine message pattern of each algorithm.
+    """
+
+    rank: int
+    size: int
+    tracker: CommTracker | None
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to ``dest`` (implemented by subclasses)."""
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: int = ANY_TAG, *, timeout: float | None = None):
+        """Receive from ``source`` (implemented by subclasses)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise CommError(f"peer rank {peer} out of range for size {self.size}")
+
+    def sendrecv(self, obj, dest: int, source: int, *, tag: int = 0):
+        """Exchange with two (possibly different) peers without deadlock.
+
+        Deterministic ordering: lower rank sends first.  Safe for the
+        pairwise exchanges used by halo updates.
+        """
+        self._check_peer(dest)
+        self._check_peer(source)
+        if self.rank == dest and self.rank == source:
+            return obj
+        if self.rank < dest:
+            self.send(obj, dest, tag)
+            return self.recv(source, tag)
+        received = self.recv(source, tag)
+        self.send(obj, dest, tag)
+        return received
+
+    # collectives (generic algorithms over send/recv) -------------------
+    def barrier(self) -> None:
+        """Block until every rank arrives."""
+        from repro.mpisim import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        from repro.mpisim import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def reduce(self, value, op: ReduceOp = SUM, root: int = 0):
+        """Reduce to ``root``; other ranks receive None."""
+        from repro.mpisim import collectives
+
+        return collectives.reduce(self, value, op, root)
+
+    def allreduce(self, value, op: ReduceOp = SUM):
+        """Reduce and deliver the result on every rank."""
+        from repro.mpisim import collectives
+
+        return collectives.allreduce(self, value, op)
+
+    def gather(self, value, root: int = 0):
+        """Collect one value per rank at ``root``."""
+        from repro.mpisim import collectives
+
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value):
+        """Collect one value per rank, everywhere."""
+        from repro.mpisim import collectives
+
+        return collectives.allgather(self, value)
+
+    def scatter(self, values, root: int = 0):
+        """Distribute one value per rank from ``root``."""
+        from repro.mpisim import collectives
+
+        return collectives.scatter(self, values, root)
+
+    def alltoall(self, values):
+        """Personalised exchange: ``values[j]`` goes to rank ``j``."""
+        from repro.mpisim import collectives
+
+        return collectives.alltoall(self, values)
+
+    def scan(self, value, op: ReduceOp = SUM):
+        """Inclusive prefix reduction."""
+        from repro.mpisim import collectives
+
+        return collectives.scan(self, value, op)
+
+    def reduce_scatter(self, values, op: ReduceOp = SUM):
+        """Element-wise reduce, scatter slot ``r`` to rank ``r``."""
+        from repro.mpisim import collectives
+
+        return collectives.reduce_scatter(self, values, op)
+
+
+class SelfComm(Comm):
+    """The ``size == 1`` communicator: all operations are local no-ops."""
+
+    def __init__(self, tracker: CommTracker | None = None):
+        self.rank = 0
+        self.size = 1
+        self.tracker = tracker
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """SelfComm has no peers; always raises."""
+        raise CommError("SelfComm has no peers to send to")
+
+    def recv(self, source: int, tag: int = ANY_TAG, *, timeout: float | None = None):
+        """SelfComm has no peers; always raises."""
+        raise CommError("SelfComm has no peers to receive from")
+
+    def sendrecv(self, obj, dest: int, source: int, *, tag: int = 0):
+        """Self-exchange is the identity; peers are rejected."""
+        if dest != 0 or source != 0:
+            raise CommError("SelfComm has no peers")
+        return obj

@@ -1,0 +1,187 @@
+"""SPMD execution engine: run rank functions on threads with message passing.
+
+``send`` is *buffered* (eager-mode MPI): it enqueues and returns immediately,
+so the pairwise exchange patterns used by the collectives and halo updates
+cannot deadlock on matched sends.  ``recv`` blocks until a matching message
+(source, tag) arrives, with a configurable timeout that converts silent
+deadlocks into :class:`~repro.errors.CommError`.
+
+NumPy payloads are copied on send so a rank mutating its buffer after the
+call cannot corrupt data in flight — the semantics of a real network.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.mpisim.comm import ANY_TAG, Comm
+from repro.mpisim.tracker import CommTracker, payload_nbytes
+
+__all__ = ["ThreadComm", "Request", "run_spmd", "waitall"]
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py ``isend``/``irecv`` style).
+
+    Send requests complete immediately (sends are buffered); receive
+    requests complete when a matching message is available.  ``wait`` blocks
+    and returns the payload (``None`` for sends); ``test`` polls.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self, comm=None, source: int | None = None, tag: int = ANY_TAG,
+                 *, completed: bool = False, value=None):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = completed
+        self._value = value
+
+    def wait(self, timeout: float | None = None):
+        """Block until complete; returns the received payload (sends: None)."""
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag, timeout=timeout)
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, object]:
+        """Non-blocking completion check: ``(done, payload_or_None)``."""
+        if self._done:
+            return True, self._value
+        try:
+            self._value = self._comm.recv(self._source, self._tag, timeout=0.0)
+            self._done = True
+            return True, self._value
+        except CommError:
+            return False, None
+
+
+def waitall(requests) -> list:
+    """Wait on every request; returns their payloads in order."""
+    return [req.wait() for req in requests]
+
+
+class ThreadComm(Comm):
+    """Communicator endpoint for one SPMD thread."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: Sequence[queue.Queue],
+        tracker: CommTracker | None,
+        timeout: float,
+    ):
+        self.rank = rank
+        self.size = size
+        self._mailboxes = mailboxes
+        self.tracker = tracker
+        self._timeout = timeout
+        self._pending: list[tuple[int, int, Any]] = []  # out-of-order stash
+
+    # ------------------------------------------------------------------
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Buffered (eager) send: enqueue and return immediately."""
+        self._check_peer(dest)
+        if dest == self.rank:
+            raise CommError("send to self is not supported; restructure the exchange")
+        if isinstance(obj, np.ndarray):
+            obj = obj.copy()
+        if self.tracker is not None:
+            self.tracker.record_p2p(self.rank, dest, payload_nbytes(obj))
+        self._mailboxes[dest].put((self.rank, tag, obj))
+
+    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send: buffered, hence complete on return."""
+        self.send(obj, dest, tag)
+        return Request(completed=True)
+
+    def irecv(self, source: int, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; complete via ``Request.wait``/``test``."""
+        self._check_peer(source)
+        return Request(self, source, tag)
+
+    def recv(self, source: int, tag: int = ANY_TAG, *, timeout: float | None = None):
+        """Block until a message matching ``(source, tag)`` arrives."""
+        self._check_peer(source)
+        if source == self.rank:
+            raise CommError("recv from self is not supported")
+        limit = self._timeout if timeout is None else timeout
+        # check the stash of earlier non-matching messages first
+        for k, (src, t, obj) in enumerate(self._pending):
+            if src == source and (tag == ANY_TAG or t == tag):
+                del self._pending[k]
+                return obj
+        while True:
+            try:
+                src, t, obj = self._mailboxes[self.rank].get(timeout=limit)
+            except queue.Empty:
+                raise CommError(
+                    f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
+                    f"after {limit}s — likely deadlock or missing send"
+                ) from None
+            if src == source and (tag == ANY_TAG or t == tag):
+                return obj
+            self._pending.append((src, t, obj))
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    size: int,
+    *args,
+    tracker: CommTracker | None = None,
+    timeout: float = _DEFAULT_TIMEOUT,
+    **kwargs,
+) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return all results.
+
+    Each rank executes on its own thread with a :class:`ThreadComm`.  The
+    first exception raised by any rank is re-raised in the caller after all
+    threads finish or are abandoned at the timeout.
+
+    Notes
+    -----
+    This is a *correctness* runtime: with CPython's GIL, NumPy-heavy rank
+    functions interleave rather than speed up.  Its purpose is to execute the
+    genuine distributed algorithm — real messages, real orderings — so the
+    deterministic BSP layer in :mod:`repro.dist` can be validated against it.
+    """
+    if size < 1:
+        raise CommError("size must be >= 1")
+    mailboxes = [queue.Queue() for _ in range(size)]
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def _worker(rank: int) -> None:
+        comm = ThreadComm(rank, size, mailboxes, tracker, timeout)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — propagated to caller
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=_worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 2)
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc = errors[0]
+        raise CommError(f"rank {rank} failed: {exc!r}") from exc
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise CommError(f"{len(alive)} ranks still running after timeout (deadlock?)")
+    return results

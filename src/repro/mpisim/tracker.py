@@ -1,0 +1,95 @@
+"""Communication accounting for the simulated MPI runtime.
+
+The paper's central claim is that FSAIE-Comm extensions leave the
+communication scheme *unchanged*.  The tracker gives that claim a measurable
+form: every point-to-point message and every collective is recorded, so
+benchmarks can assert byte-for-byte identical traffic between the FSAI and
+FSAIE-Comm solves.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommTracker", "payload_nbytes"]
+
+
+def payload_nbytes(obj) -> int:
+    """Approximate wire size of a message payload in bytes."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, (int, float, np.integer, np.floating)) for x in obj
+    ):
+        return 8 * len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass
+class CommTracker:
+    """Thread-safe counters of point-to-point and collective traffic."""
+
+    p2p_messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    p2p_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    collective_calls: dict[str, int] = field(default_factory=dict)
+    collective_bytes: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_p2p(self, src: int, dst: int, nbytes: int) -> None:
+        """Count one point-to-point message of ``nbytes``."""
+        key = (int(src), int(dst))
+        with self._lock:
+            self.p2p_messages[key] = self.p2p_messages.get(key, 0) + 1
+            self.p2p_bytes[key] = self.p2p_bytes.get(key, 0) + int(nbytes)
+
+    def record_collective(self, name: str, nbytes: int) -> None:
+        """Count one collective operation of ``nbytes``."""
+        with self._lock:
+            self.collective_calls[name] = self.collective_calls.get(name, 0) + 1
+            self.collective_bytes[name] = self.collective_bytes.get(name, 0) + int(nbytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """All point-to-point messages recorded."""
+        return sum(self.p2p_messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """All point-to-point bytes recorded."""
+        return sum(self.p2p_bytes.values())
+
+    def edges(self) -> set[tuple[int, int]]:
+        """The set of (src, dst) pairs that exchanged at least one message."""
+        return {k for k, v in self.p2p_messages.items() if v > 0}
+
+    def reset(self) -> None:
+        """Clear every counter."""
+        with self._lock:
+            self.p2p_messages.clear()
+            self.p2p_bytes.clear()
+            self.collective_calls.clear()
+            self.collective_bytes.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy suitable for comparison/serialisation."""
+        with self._lock:
+            return {
+                "p2p_messages": dict(self.p2p_messages),
+                "p2p_bytes": dict(self.p2p_bytes),
+                "collective_calls": dict(self.collective_calls),
+                "collective_bytes": dict(self.collective_bytes),
+            }
+
+    def same_edges(self, other: "CommTracker") -> bool:
+        """True when both trackers saw the same communication graph."""
+        return self.edges() == other.edges()

@@ -1,0 +1,132 @@
+"""Reverse Cuthill–McKee (RCM) bandwidth-reducing ordering.
+
+Cache-friendly pattern extension exploits *locality of column indices*:
+entries whose ``x`` operands share cache lines.  How much locality exists
+depends on the matrix ordering — the paper's related work (Nagasaka et al.,
+ref. [32]) improves preconditioner locality by reordering.  This module
+provides the classic RCM ordering so users can study (and the ablation
+benchmark quantifies) the interaction between ordering quality and
+FSAIE/FSAIE-Comm gains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import SparsityPattern
+
+__all__ = ["rcm_ordering", "bandwidth", "pseudo_peripheral_vertex"]
+
+
+def _adjacency(pattern: SparsityPattern) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrised adjacency without the diagonal (xadj, adjncy)."""
+    sym = pattern.symmetrized()
+    rows = np.repeat(np.arange(sym.nrows, dtype=np.int64), sym.row_nnz())
+    keep = rows != sym.indices
+    xadj = np.zeros(sym.nrows + 1, dtype=np.int64)
+    np.add.at(xadj, rows[keep] + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    return xadj, sym.indices[keep]
+
+
+def pseudo_peripheral_vertex(
+    xadj: np.ndarray, adjncy: np.ndarray, start: int = 0
+) -> int:
+    """Find a vertex of near-maximal eccentricity (George–Liu heuristic).
+
+    Repeated BFS: move to a minimum-degree vertex of the last BFS level
+    until the eccentricity stops growing.  A good RCM start vertex.
+    """
+    n = xadj.size - 1
+    current = int(start)
+    last_height = -1
+    for _ in range(n):  # terminates much earlier in practice
+        levels = _bfs_levels(xadj, adjncy, current)
+        height = int(levels.max())
+        if height <= last_height:
+            return current
+        last_height = height
+        frontier = np.flatnonzero(levels == height)
+        degrees = xadj[frontier + 1] - xadj[frontier]
+        current = int(frontier[np.argmin(degrees)])
+    return current
+
+
+def _bfs_levels(xadj: np.ndarray, adjncy: np.ndarray, source: int) -> np.ndarray:
+    n = xadj.size - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in adjncy[xadj[v] : xadj[v + 1]]:
+            if levels[u] == -1:
+                levels[u] = levels[v] + 1
+                queue.append(int(u))
+    return levels
+
+
+def rcm_ordering(mat_or_pattern) -> np.ndarray:
+    """RCM permutation: ``perm[k]`` is the old index of new row ``k``.
+
+    Handles disconnected graphs (each component ordered from its own
+    pseudo-peripheral vertex).  Apply with
+    :func:`repro.order.permute.permute_symmetric`.
+    """
+    pattern = (
+        SparsityPattern.from_csr(mat_or_pattern)
+        if isinstance(mat_or_pattern, CSRMatrix)
+        else mat_or_pattern
+    )
+    if pattern.nrows != pattern.ncols:
+        raise ShapeError("RCM needs a square pattern")
+    n = pattern.nrows
+    xadj, adjncy = _adjacency(pattern)
+    degrees = xadj[1:] - xadj[:-1]
+
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        start = pseudo_peripheral_vertex(xadj, adjncy, seed)
+        if visited[start]:  # peripheral search may land in a visited region
+            start = seed
+        visited[start] = True
+        queue: deque[int] = deque([start])
+        while queue:
+            v = queue.popleft()
+            order[pos] = v
+            pos += 1
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size:
+                # Cuthill–McKee visits neighbours in increasing degree
+                fresh = fresh[np.argsort(degrees[fresh], kind="stable")]
+                # remove duplicates while preserving degree order
+                seen_local: set[int] = set()
+                for u in fresh.tolist():
+                    if u not in seen_local:
+                        seen_local.add(u)
+                        visited[u] = True
+                        queue.append(u)
+    assert pos == n
+    return order[::-1].copy()  # the *reverse* of Cuthill–McKee
+
+
+def bandwidth(mat_or_pattern) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal matrices)."""
+    pattern = (
+        SparsityPattern.from_csr(mat_or_pattern)
+        if isinstance(mat_or_pattern, CSRMatrix)
+        else mat_or_pattern
+    )
+    if pattern.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(pattern.nrows, dtype=np.int64), pattern.row_nnz())
+    return int(np.abs(rows - pattern.indices).max())

@@ -1,0 +1,57 @@
+"""Floating-point operation counts of the CG kernels (paper §2.1).
+
+All counts are exact for the implemented kernels: 2 FLOPs per stored entry
+for SpMV (multiply + add), 2 per element for dot products and AXPYs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.precond import Preconditioner
+from repro.dist.matrix import DistMatrix
+
+__all__ = [
+    "spmv_flops",
+    "dot_flops",
+    "axpy_flops",
+    "precond_flops_per_rank",
+    "iteration_flops_per_rank",
+]
+
+
+def spmv_flops(nnz: int) -> int:
+    """FLOPs of one SpMV with ``nnz`` stored entries."""
+    return 2 * int(nnz)
+
+
+def dot_flops(n: int) -> int:
+    """FLOPs of one length-``n`` dot product."""
+    return 2 * int(n)
+
+
+def axpy_flops(n: int) -> int:
+    """FLOPs of one length-``n`` AXPY."""
+    return 2 * int(n)
+
+
+def precond_flops_per_rank(precond: Preconditioner) -> np.ndarray:
+    """Per-rank FLOPs of one preconditioner application ``Gᵀ(Gx)``."""
+    return 2 * (precond.g.nnz_per_rank() + precond.gt.nnz_per_rank())
+
+
+def iteration_flops_per_rank(
+    mat: DistMatrix, precond: Preconditioner | None
+) -> np.ndarray:
+    """Per-rank FLOPs of one PCG iteration.
+
+    One SpMV with ``A``, the preconditioner application (two SpMVs), three
+    dot products (‖r‖², dᵀAd, rᵀz) and three vector updates (x, r, d).
+    """
+    sizes = mat.partition.sizes()
+    flops = 2 * mat.nnz_per_rank()  # SpMV with A
+    flops = flops + 6 * sizes  # three dots
+    flops = flops + 6 * sizes  # three AXPY-type updates
+    if precond is not None:
+        flops = flops + precond_flops_per_rank(precond)
+    return flops

@@ -1,0 +1,225 @@
+"""Analytic time model: counts → modeled solver time on a target machine.
+
+The paper reports measured wall times; offline, the reproduction computes
+them from first principles.  One PCG iteration decomposes into
+
+* SpMV with ``A``         — roofline of FLOPs vs streamed bytes,
+* preconditioner ``Gᵀ(Gx)`` — same, plus the *simulated* L1 misses on the
+  multiplying vector (the quantity Figures 3a/5a measure) as a latency term,
+* halo updates            — α–β per neighbour message, max over ranks,
+* reductions              — three allreduces of ⌈log₂P⌉ rounds,
+* vector updates          — streamed bytes.
+
+Time per rank is the max over ranks of its compute plus its communication —
+the bulk-synchronous bound that makes load *imbalance* (§5.3.3) directly
+visible in modeled time.  ``threads_per_process`` scales per-process compute
+capacity and aggregated L1, reproducing the hybrid study of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cachesim.spmv_trace import precond_x_misses_per_rank, x_access_lines
+from repro.cachesim.cache import simulate_misses
+from repro.core.precond import Preconditioner
+from repro.dist.matrix import DistMatrix
+from repro.perfmodel.machine import MachineSpec
+
+__all__ = ["IterationCost", "CostModel", "estimate_solver_time"]
+
+_BYTES_PER_ENTRY = 12  # 8 B value + 4 B column index (CSR streaming)
+_BYTES_PER_VALUE = 8
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Breakdown of the modeled time of one PCG iteration (seconds)."""
+
+    spmv_a: float
+    precond: float
+    halo: float
+    reductions: float
+    vector_ops: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.spmv_a + self.precond + self.halo + self.reductions + self.vector_ops
+
+
+class CostModel:
+    """Per-(matrix, preconditioner, machine) time model.
+
+    Parameters
+    ----------
+    machine:
+        Target system parameters.
+    threads_per_process:
+        Hybrid configuration: cores (OpenMP threads) per MPI process.  Scales
+        per-process FLOP rate, memory bandwidth and aggregated L1 capacity.
+    simulate_cache:
+        Run the L1 simulator for the preconditioner's ``x`` accesses.  When
+        off, misses are approximated by one per distinct touched line per
+        SpMV (fast, used by large parameter sweeps).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        threads_per_process: int = 1,
+        simulate_cache: bool = True,
+    ):
+        if threads_per_process < 1:
+            raise ValueError("threads_per_process must be >= 1")
+        self.machine = machine
+        self.threads = threads_per_process
+        self.simulate_cache = simulate_cache
+        self.process_flops = machine.core_flops * threads_per_process
+        self.process_bw = machine.core_mem_bw * threads_per_process
+        self.l1 = machine.l1.scaled(threads_per_process)
+
+    # ------------------------------------------------------------------
+    def _roofline(self, flops: np.ndarray, bytes_: np.ndarray) -> np.ndarray:
+        """Per-rank kernel time: max of compute and memory streams."""
+        return np.maximum(flops / self.process_flops, bytes_ / self.process_bw)
+
+    def _halo_time(self, mat: DistMatrix) -> float:
+        """α–β cost of one halo update; max over ranks of its receive side."""
+        m = self.machine
+        per_rank = np.zeros(mat.partition.nparts)
+        for p, by_owner in enumerate(mat.schedule.recv_from):
+            msgs = sum(1 for ids in by_owner.values() if ids.size)
+            values = sum(int(ids.size) for ids in by_owner.values())
+            per_rank[p] = msgs * m.net_latency + values * _BYTES_PER_VALUE / m.net_bandwidth
+        return float(per_rank.max()) if per_rank.size else 0.0
+
+    def _allreduce_time(self, nparts: int) -> float:
+        rounds = int(np.ceil(np.log2(max(nparts, 2)))) if nparts > 1 else 0
+        return rounds * (self.machine.net_latency + _BYTES_PER_VALUE / self.machine.net_bandwidth)
+
+    def spmv_misses_per_rank(self, mat: DistMatrix) -> np.ndarray:
+        """L1 misses on ``x`` per rank for one SpMV with ``mat``."""
+        out = np.zeros(mat.partition.nparts, dtype=np.int64)
+        for p, lm in enumerate(mat.locals):
+            stream = x_access_lines(lm.csr, self.l1.line_bytes)
+            if self.simulate_cache:
+                out[p] = simulate_misses(stream, self.l1)
+            else:
+                out[p] = np.unique(stream).size
+        return out
+
+    # ------------------------------------------------------------------
+    def iteration_cost(
+        self,
+        mat: DistMatrix,
+        precond: Preconditioner | None,
+        *,
+        precond_misses: np.ndarray | None = None,
+        reduction_phases: int = 3,
+    ) -> IterationCost:
+        """Modeled time of one PCG iteration.
+
+        ``precond_misses`` lets callers reuse simulated miss counts across
+        filter sweeps; when omitted they are computed here.
+        ``reduction_phases`` is the number of allreduce synchronisations per
+        iteration: 3 for textbook PCG, 1 for pipelined PCG
+        (:func:`repro.core.solvers.pipelined_pcg`).
+        """
+        m = self.machine
+        sizes = mat.partition.sizes().astype(np.float64)
+        nparts = mat.partition.nparts
+
+        # SpMV with A: stream matrix + gather x + write y
+        a_nnz = mat.nnz_per_rank().astype(np.float64)
+        a_bytes = a_nnz * _BYTES_PER_ENTRY + sizes * 2 * _BYTES_PER_VALUE
+        a_misses = self.spmv_misses_per_rank(mat).astype(np.float64)
+        spmv_a = self._roofline(2 * a_nnz, a_bytes) + a_misses * m.miss_penalty
+        halo = self._halo_time(mat)
+
+        precond_t = np.zeros(nparts)
+        if precond is not None:
+            g_nnz = precond.g.nnz_per_rank().astype(np.float64)
+            gt_nnz = precond.gt.nnz_per_rank().astype(np.float64)
+            p_bytes = (g_nnz + gt_nnz) * _BYTES_PER_ENTRY + sizes * 4 * _BYTES_PER_VALUE
+            if precond_misses is None:
+                if self.simulate_cache:
+                    precond_misses = precond_x_misses_per_rank(
+                        precond.g, precond.gt, self.l1
+                    )
+                else:
+                    precond_misses = np.array(
+                        [
+                            np.unique(
+                                x_access_lines(precond.g.locals[p].csr, self.l1.line_bytes)
+                            ).size
+                            + np.unique(
+                                x_access_lines(precond.gt.locals[p].csr, self.l1.line_bytes)
+                            ).size
+                            for p in range(nparts)
+                        ],
+                        dtype=np.int64,
+                    )
+            precond_t = (
+                self._roofline(2 * (g_nnz + gt_nnz), p_bytes)
+                + precond_misses.astype(np.float64) * m.miss_penalty
+            )
+            halo += self._halo_time(precond.g) + self._halo_time(precond.gt)
+
+        # three dots + three updates: ~6 streamed vectors each way
+        vec_bytes = 12 * sizes * _BYTES_PER_VALUE
+        vector_ops = self._roofline(12 * sizes, vec_bytes)
+        reductions = reduction_phases * self._allreduce_time(nparts)
+
+        return IterationCost(
+            spmv_a=float(spmv_a.max()),
+            precond=float(precond_t.max()) if precond is not None else 0.0,
+            halo=halo,
+            reductions=reductions,
+            vector_ops=float(vector_ops.max()),
+        )
+
+    def precond_gflops_per_rank(
+        self,
+        precond: Preconditioner,
+        *,
+        precond_misses: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-rank GFLOP/s of the preconditioning SpMVs (Figures 3b/5b/7)."""
+        m = self.machine
+        sizes = precond.g.partition.sizes().astype(np.float64)
+        g_nnz = precond.g.nnz_per_rank().astype(np.float64)
+        gt_nnz = precond.gt.nnz_per_rank().astype(np.float64)
+        flops = 2 * (g_nnz + gt_nnz)
+        p_bytes = (g_nnz + gt_nnz) * _BYTES_PER_ENTRY + sizes * 4 * _BYTES_PER_VALUE
+        if precond_misses is None:
+            precond_misses = precond_x_misses_per_rank(precond.g, precond.gt, self.l1)
+        time = (
+            self._roofline(flops, p_bytes)
+            + precond_misses.astype(np.float64) * m.miss_penalty
+        )
+        time = np.where(time > 0, time, np.inf)
+        return flops / time / 1e9
+
+
+def estimate_solver_time(
+    iterations: int,
+    mat: DistMatrix,
+    precond: Preconditioner | None,
+    machine: MachineSpec,
+    *,
+    threads_per_process: int = 1,
+    simulate_cache: bool = True,
+    precond_misses: np.ndarray | None = None,
+) -> float:
+    """Modeled time-to-solution: iterations × modeled iteration time."""
+    model = CostModel(
+        machine,
+        threads_per_process=threads_per_process,
+        simulate_cache=simulate_cache,
+    )
+    cost = model.iteration_cost(mat, precond, precond_misses=precond_misses)
+    return iterations * cost.total

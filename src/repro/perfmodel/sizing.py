@@ -1,0 +1,88 @@
+"""The paper's parallel-configuration sizing rule (§5.2).
+
+"Considering 8 threads per MPI process, we start with a workload of 256K
+entries per thread (i.e. 2M per MPI process) and we keep doubling the core
+count until the parallel efficiency at doubling is smaller than 75%."
+
+Offline, parallel efficiency comes from the cost model: doubling the rank
+count halves per-rank work but grows halos and synchronisation, and the rule
+stops when the modeled speedup of the doubling falls below
+``2 × efficiency_threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.matrix import DistMatrix
+from repro.dist.partition_map import RowPartition
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.model import CostModel
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SizingResult", "select_rank_count"]
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of the §5.2 doubling procedure."""
+
+    ranks: int
+    threads_per_process: int
+    cores: int
+    efficiencies: tuple[float, ...]  # efficiency of each accepted doubling
+
+    @property
+    def nodes(self) -> float:
+        """Fractional nodes are meaningful only for reporting."""
+        return self.cores
+
+
+def select_rank_count(
+    mat: CSRMatrix,
+    machine: MachineSpec,
+    *,
+    threads_per_process: int = 8,
+    entries_per_thread: int = 4_000,
+    efficiency_threshold: float = 0.75,
+    max_ranks: int = 64,
+    seed: int = 0,
+) -> SizingResult:
+    """Apply the paper's doubling rule at reproduction scale.
+
+    ``entries_per_thread`` defaults to the paper's 256 K scaled by the same
+    ~64× factor as the catalog matrices.  Returns the selected rank count
+    and the efficiency observed at each accepted doubling.
+    """
+    if threads_per_process < 1 or entries_per_thread < 1:
+        raise ValueError("threads and workload must be positive")
+    per_process = entries_per_thread * threads_per_process
+    ranks = max(1, round(mat.nnz / per_process))
+    ranks = min(ranks, mat.nrows, max_ranks)
+
+    def iteration_time(p: int) -> float:
+        part = RowPartition.from_matrix(mat, p, seed=seed)
+        dist = DistMatrix.from_global(mat, part)
+        model = CostModel(
+            machine, threads_per_process=threads_per_process, simulate_cache=False
+        )
+        return model.iteration_cost(dist, None).total
+
+    efficiencies: list[float] = []
+    current_time = iteration_time(ranks)
+    while ranks * 2 <= min(max_ranks, mat.nrows):
+        doubled_time = iteration_time(ranks * 2)
+        if doubled_time <= 0:
+            break
+        efficiency = current_time / (2.0 * doubled_time)
+        if efficiency < efficiency_threshold:
+            break
+        efficiencies.append(efficiency)
+        ranks *= 2
+        current_time = doubled_time
+    return SizingResult(
+        ranks=ranks,
+        threads_per_process=threads_per_process,
+        cores=ranks * threads_per_process,
+        efficiencies=tuple(efficiencies),
+    )

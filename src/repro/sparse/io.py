@@ -1,0 +1,93 @@
+"""Minimal MatrixMarket (``.mtx``) reader/writer.
+
+Supports the subset used by the SuiteSparse collection matrices the paper
+evaluates: ``matrix coordinate real {general|symmetric}`` and
+``matrix coordinate pattern {general|symmetric}`` (pattern entries get value
+1.0).  Symmetric files are expanded to full storage on read, which is what
+the solver expects.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open_text(path: Path, mode: str) -> TextIO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CSRMatrix`."""
+    path = Path(path)
+    with _open_text(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise SparseFormatError(f"{path}: missing MatrixMarket banner")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise SparseFormatError(f"{path}: malformed banner: {header!r}")
+        _, obj, fmt, field, symmetry = tokens[:5]
+        obj, fmt = obj.lower(), fmt.lower()
+        field, symmetry = field.lower(), symmetry.lower()
+        if obj != "matrix" or fmt != "coordinate":
+            raise SparseFormatError(f"{path}: only coordinate matrices supported")
+        if field not in ("real", "integer", "pattern"):
+            raise SparseFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise SparseFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%") or not line.strip():
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(t) for t in line.split())
+        except ValueError as exc:
+            raise SparseFormatError(f"{path}: bad size line {line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            if not parts:
+                raise SparseFormatError(f"{path}: truncated at entry {k}")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = 1.0 if field == "pattern" else float(parts[2])
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        mirror_rows, mirror_cols, mirror_vals = cols[off], rows[off], vals[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+    return CSRMatrix.from_coo((nrows, ncols), rows, cols, vals)
+
+
+def write_matrix_market(path, mat: CSRMatrix, *, symmetric: bool = False) -> None:
+    """Write a :class:`CSRMatrix` as a MatrixMarket coordinate file.
+
+    With ``symmetric=True`` only the lower triangle is written and the file
+    is marked ``symmetric`` (the matrix must actually be symmetric; this is
+    not verified here for speed).
+    """
+    path = Path(path)
+    out = mat.extract_lower() if symmetric else mat
+    rows, cols, vals = out.to_coo()
+    with _open_text(path, "w") as fh:
+        kind = "symmetric" if symmetric else "general"
+        fh.write(f"%%MatrixMarket matrix coordinate real {kind}\n")
+        fh.write(f"{mat.nrows} {mat.ncols} {out.nnz}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

@@ -1,0 +1,105 @@
+"""Dense-vector BLAS-1 helpers and sparse utility operations.
+
+The CG solver is built on exactly three kernels (paper §2.1): SpMV, AXPY and
+dot products.  SpMV lives on :class:`~repro.sparse.csr.CSRMatrix`; the vector
+kernels live here so the distributed layer can route them through communication
+tracking without touching NumPy call sites everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotSPDError, ShapeError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "axpy",
+    "xpay",
+    "dot",
+    "norm2",
+    "max_norm",
+    "is_symmetric",
+    "check_spd",
+    "drop_small_relative",
+]
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """In-place ``y += alpha * x``; returns ``y``."""
+    if x.shape != y.shape:
+        raise ShapeError("axpy operands must have identical shape")
+    y += alpha * x
+    return y
+
+
+def xpay(x: np.ndarray, alpha: float, y: np.ndarray) -> np.ndarray:
+    """In-place ``y = x + alpha * y`` (the CG direction update); returns ``y``."""
+    if x.shape != y.shape:
+        raise ShapeError("xpay operands must have identical shape")
+    y *= alpha
+    y += x
+    return y
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> float:
+    """Dense dot product (float result)."""
+    if x.shape != y.shape:
+        raise ShapeError("dot operands must have identical shape")
+    return float(np.dot(x, y))
+
+
+def norm2(x: np.ndarray) -> float:
+    """Euclidean norm."""
+    return float(np.linalg.norm(x))
+
+
+def max_norm(mat: CSRMatrix) -> float:
+    """Largest absolute stored entry (the paper normalises RHS to this)."""
+    if mat.nnz == 0:
+        return 0.0
+    return float(np.abs(mat.data).max())
+
+
+def is_symmetric(mat: CSRMatrix, *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+    """Check ``A == Aᵀ`` structurally and numerically."""
+    if mat.nrows != mat.ncols:
+        return False
+    return mat.allclose(mat.transpose(), rtol=rtol, atol=atol)
+
+
+def check_spd(mat: CSRMatrix, *, probe_vectors: int = 4, seed: int = 0) -> None:
+    """Cheap SPD sanity check; raises :class:`NotSPDError` on failure.
+
+    Verifies symmetry, positive diagonal, and ``xᵀAx > 0`` for a few random
+    probes.  This is a guard for user-facing entry points, not a proof.
+    """
+    if not is_symmetric(mat):
+        raise NotSPDError("matrix is not symmetric")
+    diag = mat.diagonal()
+    if np.any(diag <= 0):
+        raise NotSPDError("matrix has non-positive diagonal entries")
+    rng = np.random.default_rng(seed)
+    for _ in range(probe_vectors):
+        x = rng.standard_normal(mat.nrows)
+        if float(x @ mat.spmv(x)) <= 0:
+            raise NotSPDError("random probe found non-positive curvature")
+
+
+def drop_small_relative(mat: CSRMatrix, tol: float) -> CSRMatrix:
+    """Drop off-diagonal entries with ``|a_ij| <= tol·sqrt(|a_ii·a_jj|)``.
+
+    The scale-independent dropping rule of Chow (2001), used both to build
+    ``Ã`` (Alg. 1 step 1) and to post-filter ``G`` (Alg. 1 step 4).
+    Diagonal entries are always kept.
+    """
+    if mat.nrows != mat.ncols:
+        raise ShapeError("drop_small_relative expects a square matrix")
+    if tol < 0:
+        raise ValueError("tol must be non-negative")
+    diag = np.abs(mat.diagonal())
+    diag[diag == 0.0] = 1.0
+    rows = np.repeat(np.arange(mat.nrows, dtype=np.int64), mat.row_nnz())
+    scale = np.sqrt(diag[rows] * diag[mat.indices])
+    drop = (np.abs(mat.data) <= tol * scale) & (rows != mat.indices)
+    return mat.drop_entries(drop)

@@ -1,0 +1,103 @@
+"""Sparse general matrix–matrix multiplication (SpGEMM).
+
+Two variants:
+
+* :func:`symbolic_spgemm` — structure only, used to build the "sparse level"
+  patterns ``pattern(Ã^N)`` of Alg. 1.
+* :func:`spgemm` — numeric, row-wise Gustavson algorithm with a sparse
+  accumulator (SPA).
+
+Both are pure NumPy; the per-row inner loops are vectorised by gathering all
+contributing rows of ``B`` at once and reducing with ``np.unique`` /
+segment sums, which keeps the Python-level loop to one iteration per row of
+``A`` (the standard Gustavson structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import SparsityPattern
+
+__all__ = ["symbolic_spgemm", "spgemm"]
+
+
+def symbolic_spgemm(a: SparsityPattern, b: SparsityPattern) -> SparsityPattern:
+    """Structure of the product ``a @ b`` of two boolean patterns."""
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    nrows = a.nrows
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    b_indptr, b_indices = b.indptr, b.indices
+    for i in range(nrows):
+        acols = a.row(i)
+        if acols.size == 0:
+            parts.append(np.empty(0, dtype=np.int64))
+            continue
+        # gather the column lists of every contributing row of B
+        lo = b_indptr[acols]
+        hi = b_indptr[acols + 1]
+        total = int((hi - lo).sum())
+        if total == 0:
+            parts.append(np.empty(0, dtype=np.int64))
+            continue
+        gathered = np.empty(total, dtype=np.int64)
+        off = 0
+        for s, e in zip(lo, hi):
+            gathered[off : off + (e - s)] = b_indices[s:e]
+            off += e - s
+        cols = np.unique(gathered)
+        parts.append(cols)
+        indptr[i + 1] = cols.size
+    np.cumsum(indptr, out=indptr)
+    indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    return SparsityPattern((a.nrows, b.ncols), indptr, indices, check=False)
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Numeric product ``a @ b`` via row-wise Gustavson with segment sums."""
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    nrows = a.nrows
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
+    for i in range(nrows):
+        acols, avals = a.row(i)
+        if acols.size == 0:
+            col_parts.append(np.empty(0, dtype=np.int64))
+            val_parts.append(np.empty(0, dtype=np.float64))
+            continue
+        lo = b_indptr[acols]
+        hi = b_indptr[acols + 1]
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            col_parts.append(np.empty(0, dtype=np.int64))
+            val_parts.append(np.empty(0, dtype=np.float64))
+            continue
+        gathered_cols = np.empty(total, dtype=np.int64)
+        gathered_vals = np.empty(total, dtype=np.float64)
+        off = 0
+        for k in range(acols.size):
+            s, e = lo[k], hi[k]
+            n = e - s
+            gathered_cols[off : off + n] = b_indices[s:e]
+            gathered_vals[off : off + n] = avals[k] * b_data[s:e]
+            off += n
+        cols, inverse = np.unique(gathered_cols, return_inverse=True)
+        vals = np.zeros(cols.size, dtype=np.float64)
+        np.add.at(vals, inverse, gathered_vals)
+        col_parts.append(cols)
+        val_parts.append(vals)
+        indptr[i + 1] = cols.size
+    np.cumsum(indptr, out=indptr)
+    indices = (
+        np.concatenate(col_parts) if col_parts else np.empty(0, dtype=np.int64)
+    )
+    data = np.concatenate(val_parts) if val_parts else np.empty(0, dtype=np.float64)
+    return CSRMatrix((a.nrows, b.ncols), indptr, indices, data, check=False)

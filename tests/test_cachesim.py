@@ -1,0 +1,164 @@
+"""Unit tests for the cache simulator and SpMV trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    L1_A64FX,
+    L1_SKYLAKE,
+    CacheConfig,
+    SetAssociativeCache,
+    doubles_per_line,
+    line_block,
+    line_ids,
+    line_of,
+    simulate_misses,
+    spmv_x_misses,
+    x_access_lines,
+)
+from repro.dist import RowPartition
+from repro.sparse import CSRMatrix
+
+
+class TestLineGeometry:
+    def test_doubles_per_line(self):
+        assert doubles_per_line(64) == 8
+        assert doubles_per_line(256) == 32
+        assert doubles_per_line(8) == 1
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            doubles_per_line(0)
+        with pytest.raises(ValueError):
+            doubles_per_line(12)
+
+    def test_line_of(self):
+        assert line_of(0, 64) == 0
+        assert line_of(7, 64) == 0
+        assert line_of(8, 64) == 1
+
+    def test_line_block_clipping(self):
+        assert line_block(3, 64, 100) == (0, 8)
+        assert line_block(9, 64, 12) == (8, 12)  # clipped at vector end
+        assert line_block(5, 256, 100) == (0, 32)
+
+    def test_line_ids_vectorised(self):
+        cols = np.array([0, 7, 8, 15, 16])
+        assert line_ids(cols, 64).tolist() == [0, 0, 1, 1, 2]
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(32 * 1024, 64, 8)
+        assert cfg.num_sets == 64
+
+    def test_scaled(self):
+        cfg = CacheConfig(32 * 1024, 64, 8).scaled(4)
+        assert cfg.size_bytes == 128 * 1024
+        assert cfg.line_bytes == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 64, 8)
+        with pytest.raises(ValueError):
+            CacheConfig(100, 64, 8)  # not a multiple
+
+
+class TestLRUCache:
+    def cfg(self, sets=2, assoc=2, line=64):
+        return CacheConfig(sets * assoc * line, line, assoc)
+
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(self.cfg())
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_lru_eviction(self):
+        # 2-way set: lines 0, 2, 4 map to set 0 (2 sets)
+        cache = SetAssociativeCache(self.cfg(sets=2, assoc=2))
+        cache.access(0)
+        cache.access(2)
+        cache.access(0)  # touch 0: now 2 is LRU
+        cache.access(4)  # evicts 2
+        assert cache.access(0)  # still resident
+        assert not cache.access(2)  # was evicted
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = SetAssociativeCache(self.cfg(sets=2, assoc=1))
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.access(0)
+        assert cache.access(1)
+
+    def test_stream_counts_repeats_as_hits(self):
+        cache = SetAssociativeCache(self.cfg())
+        misses = cache.access_stream(np.array([0, 0, 0, 1, 1, 0]))
+        # unique transitions: 0 (miss), 1 (miss), 0 (hit, still resident)
+        assert misses == 2
+        assert cache.hits == 4
+
+    def test_stream_empty(self):
+        cache = SetAssociativeCache(self.cfg())
+        assert cache.access_stream(np.empty(0, dtype=np.int64)) == 0
+
+    def test_reset_counters(self):
+        cache = SetAssociativeCache(self.cfg())
+        cache.access(0)
+        cache.reset_counters()
+        assert cache.misses == 0 and cache.hits == 0
+
+    def test_simulate_misses_bounds(self, rng):
+        stream = rng.integers(0, 100, size=500)
+        misses = simulate_misses(stream, self.cfg(sets=4, assoc=2))
+        distinct = np.unique(stream).size
+        assert distinct <= misses <= stream.size
+
+
+class TestSpMVTrace:
+    def test_access_lines_follow_indices(self):
+        mat = CSRMatrix.from_coo((2, 20), [0, 0, 1], [0, 9, 15], [1.0, 1.0, 1.0])
+        assert x_access_lines(mat, 64).tolist() == [0, 1, 1]
+
+    def test_sequential_access_misses_once_per_line(self):
+        # a dense row touching 64 consecutive x entries: 8 lines at 64 B
+        mat = CSRMatrix.from_coo(
+            (1, 64), np.zeros(64, dtype=int), np.arange(64), np.ones(64)
+        )
+        assert spmv_x_misses(mat, L1_SKYLAKE) == 8
+
+    def test_larger_lines_fewer_misses(self):
+        rng = np.random.default_rng(0)
+        n = 4096
+        cols = np.sort(rng.choice(n, size=600, replace=False))
+        mat = CSRMatrix.from_coo((1, n), np.zeros(600, dtype=int), cols, np.ones(600))
+        assert spmv_x_misses(mat, L1_A64FX) <= spmv_x_misses(mat, L1_SKYLAKE)
+
+    def test_extension_in_touched_lines_adds_no_misses(self):
+        """The paper's core cache claim at kernel level: adding entries whose
+        x operands share already-touched lines leaves misses unchanged."""
+        rng = np.random.default_rng(1)
+        n = 2048
+        base_cols = np.sort(rng.choice(np.arange(0, n, 8), 100, replace=False))
+        base = CSRMatrix.from_coo(
+            (1, n), np.zeros(100, dtype=int), base_cols, np.ones(100)
+        )
+        # extend every entry with its full 8-double line
+        ext_cols = np.unique((base_cols // 8)[:, None] * 8 + np.arange(8))
+        ext = CSRMatrix.from_coo(
+            (1, n), np.zeros(ext_cols.size, dtype=int), ext_cols, np.ones(ext_cols.size)
+        )
+        assert spmv_x_misses(ext, L1_SKYLAKE) == spmv_x_misses(base, L1_SKYLAKE)
+        assert ext.nnz > base.nnz
+
+    def test_precond_misses_per_rank(self, poisson16):
+        from repro.cachesim import precond_x_misses_per_rank
+        from repro.core import build_fsai
+
+        part = RowPartition.from_matrix(poisson16, 2, seed=0)
+        pre = build_fsai(poisson16, part)
+        misses = precond_x_misses_per_rank(pre.g, pre.gt, L1_SKYLAKE)
+        assert misses.shape == (2,)
+        assert np.all(misses > 0)

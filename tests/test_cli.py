@@ -1,0 +1,118 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, load_matrix, main
+from repro.sparse import write_matrix_market
+
+from conftest import build_poisson2d
+
+
+class TestLoadMatrix:
+    def parse(self, *argv):
+        return build_parser().parse_args(list(argv))
+
+    def test_generate_poisson(self):
+        args = self.parse("info", "--generate", "poisson2d:6")
+        assert load_matrix(args).nrows == 36
+
+    def test_generate_elasticity(self):
+        args = self.parse("info", "--generate", "elasticity3d:2,2,2")
+        assert load_matrix(args).nrows == 3 * 27
+
+    def test_generate_catalog(self):
+        args = self.parse("info", "--generate", "catalog:gyro")
+        assert load_matrix(args).nrows > 0
+
+    def test_generate_catalog_large(self):
+        args = self.parse("info", "--generate", "catalog-large:ldoor")
+        assert load_matrix(args).nrows > 0
+
+    def test_matrix_file(self, tmp_path):
+        mat = build_poisson2d(5)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, mat, symmetric=True)
+        args = self.parse("info", "--matrix", str(path))
+        assert load_matrix(args).allclose(mat)
+
+    def test_unknown_generator_fails(self):
+        from repro.errors import ReproError
+
+        args = self.parse("info", "--generate", "banana:3")
+        with pytest.raises(ReproError):
+            load_matrix(args)
+
+
+class TestCommands:
+    def test_solve_exit_zero(self, capsys):
+        code = main(["solve", "--generate", "poisson2d:10", "--ranks", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged=True" in out
+        assert "modeled time" in out
+
+    def test_solve_each_method(self, capsys):
+        for method in ("fsai", "fsaie", "comm"):
+            code = main(
+                ["solve", "--generate", "poisson2d:8", "--ranks", "2", "--method", method]
+            )
+            assert code == 0
+
+    def test_compare_prints_table_and_invariance(self, capsys):
+        code = main(["compare", "--generate", "poisson2d:10", "--ranks", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FSAIE-Comm" in out
+        assert "communication scheme unchanged by FSAIE-Comm: True" in out
+
+    def test_info(self, capsys):
+        code = main(["info", "--generate", "poisson2d:6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "symmetric   : True" in out
+
+    def test_missing_source_is_error(self, capsys):
+        code = main(["info"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_static_filter_flag(self, capsys):
+        code = main(
+            ["solve", "--generate", "poisson2d:8", "--ranks", "2", "--static",
+             "--filter", "0.1"]
+        )
+        assert code == 0
+
+    def test_machine_selection(self, capsys):
+        code = main(
+            ["compare", "--generate", "poisson2d:8", "--ranks", "2",
+             "--machine", "a64fx"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "a64fx" in out
+
+
+class TestExport:
+    def test_export_named_subset(self, tmp_path, capsys):
+        code = main(["export", "--output", str(tmp_path), "--names", "gyro"])
+        assert code == 0
+        assert (tmp_path / "gyro.mtx").exists()
+        from repro.sparse import read_matrix_market
+
+        mat = read_matrix_market(tmp_path / "gyro.mtx")
+        assert mat.nrows == 700
+
+    def test_export_unknown_name(self, tmp_path, capsys):
+        code = main(["export", "--output", str(tmp_path), "--names", "nope"])
+        assert code == 2
+        assert "unknown matrices" in capsys.readouterr().err
+
+    def test_exported_file_solves(self, tmp_path, capsys):
+        main(["export", "--output", str(tmp_path), "--names", "qa8fm"])
+        code = main(
+            ["solve", "--matrix", str(tmp_path / "qa8fm.mtx"), "--ranks", "2"]
+        )
+        assert code == 0

@@ -1,0 +1,250 @@
+"""Unit tests for the CSR matrix type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import CSRMatrix
+
+from conftest import random_sparse
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self, rng):
+        dense = rng.standard_normal((7, 9))
+        dense[np.abs(dense) < 0.7] = 0.0
+        rows, cols = np.nonzero(dense)
+        mat = CSRMatrix.from_coo(dense.shape, rows, cols, dense[rows, cols])
+        assert np.allclose(mat.to_dense(), dense)
+
+    def test_from_coo_sums_duplicates(self):
+        mat = CSRMatrix.from_coo((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        assert mat.nnz == 2
+        assert mat.to_dense()[0, 1] == 5.0
+
+    def test_from_coo_rejects_duplicates_when_asked(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.from_coo(
+                (2, 2), [0, 0], [1, 1], [2.0, 3.0], sum_duplicates=False
+            )
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.from_coo((2, 2), [0], [5], [1.0])
+        with pytest.raises(SparseFormatError):
+            CSRMatrix.from_coo((2, 2), [-1], [0], [1.0])
+
+    def test_from_coo_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo((2, 2), [0, 1], [0], [1.0])
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1.0, 0.05], [0.0, 2.0]])
+        mat = CSRMatrix.from_dense(dense, tol=0.1)
+        assert mat.nnz == 2
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(5)
+        assert np.allclose(eye.to_dense(), np.eye(5))
+        assert eye.nnz == 5
+
+    def test_zeros(self):
+        z = CSRMatrix.zeros((3, 4))
+        assert z.nnz == 0
+        assert z.to_dense().shape == (3, 4)
+
+    def test_validation_rejects_unsorted_rows(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((2, 3), [0, 2, 2], [2, 0], [1.0, 1.0])
+
+    def test_validation_rejects_duplicate_columns(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((1, 3), [0, 2], [1, 1], [1.0, 1.0])
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((2, 2), [0, 2], [0, 1], [1.0, 1.0])  # wrong length
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 1.0])  # decreasing
+
+    def test_validation_allows_empty_rows(self):
+        mat = CSRMatrix((3, 3), [0, 0, 1, 1], [2], [5.0])
+        assert mat.row_nnz().tolist() == [0, 1, 0]
+
+
+class TestProducts:
+    def test_spmv_matches_dense(self, rng):
+        mat = random_sparse(rng, 20, 30)
+        x = rng.standard_normal(30)
+        assert np.allclose(mat.spmv(x), mat.to_dense() @ x)
+
+    def test_spmv_empty_rows(self):
+        mat = CSRMatrix.from_coo((5, 5), [0, 4], [1, 2], [2.0, 3.0])
+        assert np.allclose(mat.spmv(np.ones(5)), [2, 0, 0, 0, 3])
+
+    def test_spmv_nonempty_row_followed_by_empty_rows(self):
+        # regression: the segment of the last nonempty row must extend to the
+        # end of the data array even when trailing rows are empty
+        mat = CSRMatrix.from_coo((7, 7), [0, 0], [0, 1], [5.0, -7.0])
+        x = np.arange(7, dtype=np.float64) + 1
+        assert np.allclose(mat.spmv(x), mat.to_dense() @ x)
+
+    def test_spmv_all_empty(self):
+        mat = CSRMatrix.zeros((4, 4))
+        assert np.allclose(mat.spmv(np.ones(4)), 0.0)
+
+    def test_spmv_shape_check(self, rng):
+        mat = random_sparse(rng, 4, 6)
+        with pytest.raises(ShapeError):
+            mat.spmv(np.ones(4))
+
+    def test_spmv_out_parameter(self, rng):
+        mat = random_sparse(rng, 8, 8)
+        x = rng.standard_normal(8)
+        out = np.full(8, 99.0)
+        result = mat.spmv(x, out=out)
+        assert result is out
+        assert np.allclose(out, mat.to_dense() @ x)
+
+    def test_spmv_transpose_matches_dense(self, rng):
+        mat = random_sparse(rng, 12, 7)
+        x = rng.standard_normal(12)
+        assert np.allclose(mat.spmv_transpose(x), mat.to_dense().T @ x)
+
+    def test_matmul_operator_vector(self, rng):
+        mat = random_sparse(rng, 5, 5)
+        x = rng.standard_normal(5)
+        assert np.allclose(mat @ x, mat.spmv(x))
+
+    def test_matmul_operator_matrix(self, rng):
+        a = random_sparse(rng, 5, 6)
+        b = random_sparse(rng, 6, 4)
+        assert np.allclose((a @ b).to_dense(), a.to_dense() @ b.to_dense())
+
+
+class TestTransforms:
+    def test_transpose_matches_dense(self, rng):
+        mat = random_sparse(rng, 9, 13)
+        assert np.allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_transpose_involution(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        assert mat.transpose().transpose() == mat
+
+    def test_diagonal(self, rng):
+        mat = random_sparse(rng, 8, 8)
+        assert np.allclose(mat.diagonal(), np.diag(mat.to_dense()))
+
+    def test_diagonal_rectangular(self):
+        mat = CSRMatrix.from_coo((2, 4), [0, 1], [0, 1], [3.0, 4.0])
+        assert np.allclose(mat.diagonal(), [3.0, 4.0])
+
+    def test_extract_lower_and_upper(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        dense = mat.to_dense()
+        assert np.allclose(mat.extract_lower().to_dense(), np.tril(dense))
+        assert np.allclose(mat.extract_upper().to_dense(), np.triu(dense))
+        assert np.allclose(
+            mat.extract_lower(strict=True).to_dense(), np.tril(dense, -1)
+        )
+        assert np.allclose(
+            mat.extract_upper(strict=True).to_dense(), np.triu(dense, 1)
+        )
+
+    def test_lower_plus_strict_upper_is_whole(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        total = (
+            mat.extract_lower().to_dense() + mat.extract_upper(strict=True).to_dense()
+        )
+        assert np.allclose(total, mat.to_dense())
+
+    def test_submatrix(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        r = np.array([1, 4, 7])
+        c = np.array([0, 3, 9])
+        assert np.allclose(mat.submatrix(r, c), mat.to_dense()[np.ix_(r, c)])
+
+    def test_submatrix_unsorted_columns(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        r = np.array([2, 5])
+        c = np.array([9, 0, 4])
+        assert np.allclose(mat.submatrix(r, c), mat.to_dense()[np.ix_(r, c)])
+
+    def test_scale_rows(self, rng):
+        mat = random_sparse(rng, 6, 6)
+        s = rng.standard_normal(6)
+        assert np.allclose(mat.scale_rows(s).to_dense(), np.diag(s) @ mat.to_dense())
+
+    def test_drop_entries(self, rng):
+        mat = random_sparse(rng, 6, 6)
+        mask = np.zeros(mat.nnz, dtype=bool)
+        mask[::2] = True
+        dropped = mat.drop_entries(mask)
+        assert dropped.nnz == mat.nnz - int(mask.sum())
+        kept = mat.data[~mask]
+        assert np.allclose(np.sort(dropped.data), np.sort(kept))
+
+    def test_copy_is_independent(self, rng):
+        mat = random_sparse(rng, 5, 5)
+        cp = mat.copy()
+        cp.data[:] = 0.0
+        assert not np.allclose(mat.data, 0.0) or mat.nnz == 0
+
+
+class TestComparison:
+    def test_equality(self, rng):
+        mat = random_sparse(rng, 5, 5)
+        assert mat == mat.copy()
+
+    def test_inequality_values(self, rng):
+        mat = random_sparse(rng, 5, 5)
+        if mat.nnz == 0:
+            pytest.skip("empty random draw")
+        other = mat.copy()
+        other.data[0] += 1.0
+        assert mat != other
+
+    def test_allclose(self, rng):
+        mat = random_sparse(rng, 5, 5)
+        other = mat.copy()
+        other.data += 1e-14
+        assert mat.allclose(other)
+
+    def test_unhashable(self, rng):
+        with pytest.raises(TypeError):
+            hash(random_sparse(rng, 3, 3))
+
+    def test_repr(self, rng):
+        assert "CSRMatrix" in repr(random_sparse(rng, 3, 3))
+
+
+class TestArithmetic:
+    def test_add_matches_dense(self, rng):
+        a = random_sparse(rng, 7, 7)
+        b = random_sparse(rng, 7, 7)
+        assert np.allclose((a + b).to_dense(), a.to_dense() + b.to_dense())
+
+    def test_sub_matches_dense(self, rng):
+        a = random_sparse(rng, 6, 8)
+        b = random_sparse(rng, 6, 8)
+        assert np.allclose((a - b).to_dense(), a.to_dense() - b.to_dense())
+
+    def test_scalar_multiplication(self, rng):
+        a = random_sparse(rng, 5, 5)
+        assert np.allclose((a * 3.0).to_dense(), 3.0 * a.to_dense())
+        assert np.allclose((0.5 * a).to_dense(), 0.5 * a.to_dense())
+
+    def test_self_subtraction_is_structurally_zero_valued(self, rng):
+        a = random_sparse(rng, 6, 6)
+        diff = a - a
+        assert np.allclose(diff.to_dense(), 0.0)
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            random_sparse(rng, 3, 4) + random_sparse(rng, 4, 3)
+
+    def test_add_wrong_type(self, rng):
+        with pytest.raises(TypeError):
+            random_sparse(rng, 3, 3) + 1.0

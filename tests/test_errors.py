@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CommError,
+    ConvergenceError,
+    NotSPDError,
+    PartitionError,
+    ReproError,
+    ShapeError,
+    SparseFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [SparseFormatError, ShapeError, PartitionError, CommError, NotSPDError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("message")
+
+    def test_convergence_error_carries_state(self):
+        err = ConvergenceError("did not converge", iterations=42, residual_norm=1e-3)
+        assert isinstance(err, ReproError)
+        assert err.iterations == 42
+        assert err.residual_norm == 1e-3
+        assert "did not converge" in str(err)
+
+    def test_library_failures_catchable_in_one_clause(self):
+        """The documented contract: one except clause covers the library."""
+        from repro.sparse import CSRMatrix
+
+        caught = 0
+        for bad_call in (
+            lambda: CSRMatrix((2, 2), [0, 1], [5], [1.0]),  # format
+            lambda: CSRMatrix.identity(3).spmv([1.0]),  # shape
+        ):
+            try:
+                bad_call()
+            except ReproError:
+                caught += 1
+        assert caught == 2

@@ -1,0 +1,153 @@
+"""Unit tests for the FSAI factor computation (Alg. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FSAIOptions, compute_g_values, fsai_factor, fsai_pattern
+from repro.errors import NotSPDError, ShapeError
+from repro.matgen import poisson2d
+from repro.sparse import CSRMatrix, SparsityPattern
+
+from conftest import random_sparse
+
+
+def condition_number(dense: np.ndarray) -> float:
+    w = np.linalg.eigvalsh(dense)
+    return w[-1] / w[0]
+
+
+class TestPattern:
+    def test_default_pattern_is_lower_of_a(self, small_spd):
+        pat = fsai_pattern(small_spd)
+        lower = SparsityPattern.from_csr(small_spd.extract_lower())
+        assert pat == lower.with_diagonal()
+
+    def test_level2_pattern_is_superset(self, small_spd):
+        p1 = fsai_pattern(small_spd, FSAIOptions(level=1))
+        p2 = fsai_pattern(small_spd, FSAIOptions(level=2))
+        assert p1.issubset(p2)
+
+    def test_threshold_sparsifies(self, poisson16):
+        dense_pat = fsai_pattern(poisson16, FSAIOptions(level=2))
+        sparse_pat = fsai_pattern(poisson16, FSAIOptions(level=2, threshold=0.9))
+        assert sparse_pat.nnz < dense_pat.nnz
+
+    def test_pattern_is_lower_triangular(self, small_spd):
+        pat = fsai_pattern(small_spd, FSAIOptions(level=2))
+        for i in range(pat.nrows):
+            row = pat.row(i)
+            assert row.size >= 1
+            assert row[-1] == i  # diagonal last
+            assert np.all(row <= i)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ShapeError):
+            fsai_pattern(random_sparse(rng, 3, 5))
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            FSAIOptions(threshold=-1.0)
+        with pytest.raises(ValueError):
+            FSAIOptions(level=0)
+        with pytest.raises(ValueError):
+            FSAIOptions(post_filter=-0.1)
+
+
+class TestValues:
+    def test_unit_diagonal_of_gagt(self, small_spd):
+        g = fsai_factor(small_spd)
+        dense = g.to_dense() @ small_spd.to_dense() @ g.to_dense().T
+        assert np.allclose(np.diag(dense), 1.0)
+
+    def test_factor_is_lower_triangular_with_positive_diagonal(self, small_spd):
+        g = fsai_factor(small_spd)
+        dense = g.to_dense()
+        assert np.allclose(dense, np.tril(dense))
+        assert np.all(np.diag(dense) > 0)
+
+    def test_improves_conditioning(self, poisson16):
+        a_dense = poisson16.to_dense()
+        g = fsai_factor(poisson16)
+        precond = g.to_dense() @ a_dense @ g.to_dense().T
+        assert condition_number(precond) < condition_number(a_dense)
+
+    def test_level2_improves_over_level1(self, poisson16):
+        a_dense = poisson16.to_dense()
+        c = []
+        for level in (1, 2):
+            g = fsai_factor(poisson16, FSAIOptions(level=level)).to_dense()
+            c.append(condition_number(g @ a_dense @ g.T))
+        assert c[1] < c[0]
+
+    def test_diagonal_matrix_gives_exact_inverse_sqrt(self):
+        diag = np.array([4.0, 9.0, 16.0])
+        mat = CSRMatrix.from_dense(np.diag(diag))
+        g = fsai_factor(mat)
+        assert np.allclose(g.to_dense(), np.diag(1.0 / np.sqrt(diag)))
+
+    def test_full_pattern_reproduces_exact_inverse_factor(self, small_spd):
+        """With a full lower-triangular pattern, G A Gᵀ must equal I."""
+        n = small_spd.nrows
+        full = SparsityPattern.from_rows(
+            (n, n), [list(range(i + 1)) for i in range(n)]
+        )
+        g = compute_g_values(small_spd, full).to_dense()
+        assert np.allclose(g @ small_spd.to_dense() @ g.T, np.eye(n), atol=1e-8)
+
+    def test_richer_pattern_lowers_frobenius_objective(self, poisson16):
+        a_dense = poisson16.to_dense()
+        chol = np.linalg.cholesky(a_dense)
+        errs = []
+        for level in (1, 2):
+            g = fsai_factor(poisson16, FSAIOptions(level=level)).to_dense()
+            errs.append(np.linalg.norm(np.eye(poisson16.nrows) - g @ chol))
+        assert errs[1] < errs[0]
+
+    def test_post_filter_reduces_nnz(self, poisson16):
+        g_full = fsai_factor(poisson16, FSAIOptions(level=2))
+        g_filt = fsai_factor(poisson16, FSAIOptions(level=2, post_filter=0.2))
+        assert g_filt.nnz < g_full.nnz
+        # still a valid factor: unit diagonal of G A Gᵀ
+        dense = g_filt.to_dense() @ poisson16.to_dense() @ g_filt.to_dense().T
+        assert np.allclose(np.diag(dense), 1.0)
+
+    def test_pattern_shape_mismatch(self, small_spd):
+        with pytest.raises(ShapeError):
+            compute_g_values(small_spd, SparsityPattern.identity(small_spd.nrows + 1))
+
+    def test_pattern_missing_diagonal_rejected(self, small_spd):
+        n = small_spd.nrows
+        rows = [[i] for i in range(n)]
+        rows[3] = []  # no diagonal on row 3
+        pat = SparsityPattern.from_rows((n, n), rows)
+        with pytest.raises(ShapeError):
+            compute_g_values(small_spd, pat)
+
+    def test_non_lower_pattern_rejected(self, small_spd):
+        n = small_spd.nrows
+        rows = [[i] for i in range(n)]
+        rows[0] = [0, 5]  # upper entry
+        pat = SparsityPattern.from_rows((n, n), rows)
+        with pytest.raises(ShapeError):
+            compute_g_values(small_spd, pat)
+
+    def test_indefinite_matrix_raises(self):
+        dense = np.array([[1.0, 4.0], [4.0, 1.0]])
+        mat = CSRMatrix.from_dense(dense)
+        pat = SparsityPattern.from_rows((2, 2), [[0], [0, 1]])
+        with pytest.raises(NotSPDError):
+            compute_g_values(mat, pat)
+
+    def test_permutation_invariance_of_diagonal_scaling(self, rng):
+        """Scaling A by a positive diagonal must not change GAGᵀ."""
+        mat = poisson2d(6)
+        scale = rng.uniform(0.5, 2.0, mat.nrows)
+        d = np.diag(scale)
+        scaled = CSRMatrix.from_dense(d @ mat.to_dense() @ d)
+        g1 = fsai_factor(mat).to_dense()
+        g2 = fsai_factor(scaled).to_dense()
+        m1 = g1 @ mat.to_dense() @ g1.T
+        m2 = g2 @ scaled.to_dense() @ g2.T
+        assert np.allclose(m1, m2, atol=1e-10)

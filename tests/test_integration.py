@@ -1,0 +1,180 @@
+"""Integration tests: full pipelines over the evaluation catalog.
+
+These run the complete paper protocol (partition → FSAI/FSAIE/FSAIE-Comm →
+PCG with random max-norm RHS, 8 orders of residual reduction) on a subset of
+catalog matrices and assert the paper's aggregate claims hold in shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FilterSpec,
+    PrecondOptions,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+    check_comm_invariance,
+    imbalance_index,
+    pcg,
+)
+from repro.dist import DistMatrix, DistVector, RowPartition, spmd_cg
+from repro.matgen import (
+    PAPER_RTOL,
+    default_rank_count,
+    get_case,
+    paper_rhs,
+    table1_cases,
+)
+from repro.mpisim import CommTracker
+from repro.perfmodel import SKYLAKE, estimate_solver_time
+
+# a cross-section of problem classes that solves quickly at catalog scale
+SMOKE_SET = ["PFlow_742", "Fault_639", "thermal2", "ecology2", "qa8fm", "Dubcova2"]
+OPTS = PrecondOptions(filter=FilterSpec(0.01, dynamic=True))
+
+
+def solve_case(name, build, opts=OPTS):
+    case = get_case(name)
+    mat = case.build()
+    part = RowPartition.from_matrix(mat, default_rank_count(mat.nnz), seed=case.case_id)
+    da = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=case.case_id), part)
+    pre = build(mat, part, opts)
+    result = pcg(da, b, precond=pre.apply, rtol=PAPER_RTOL, max_iterations=20000)
+    return mat, part, da, b, pre, result
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", SMOKE_SET)
+    def test_converges_with_all_preconditioners(self, name):
+        for build in (build_fsai, build_fsaie, build_fsaie_comm):
+            mat, _, _, b, pre, result = solve_case(name, build)
+            assert result.converged, f"{name}/{pre.name}"
+            # verify the residual against a from-scratch computation
+            x = result.x.to_global()
+            bg = b.to_global()
+            rel = np.linalg.norm(mat.spmv(x) - bg) / np.linalg.norm(bg)
+            assert rel <= PAPER_RTOL * 2
+
+    @pytest.mark.parametrize("name", SMOKE_SET)
+    def test_comm_invariance_on_catalog(self, name):
+        case = get_case(name)
+        mat = case.build()
+        part = RowPartition.from_matrix(mat, default_rank_count(mat.nnz), seed=1)
+        base = build_fsai(mat, part, OPTS)
+        comm = build_fsaie_comm(mat, part, OPTS)
+        assert check_comm_invariance(base, comm)
+        assert comm.nnz >= base.nnz
+
+    def test_aggregate_iteration_improvement(self):
+        """Across problem classes, FSAIE-Comm reduces iterations vs FSAI on
+        average (the paper's headline claim; per-matrix exceptions allowed)."""
+        ratios = []
+        for name in SMOKE_SET:
+            _, _, _, _, _, res_fsai = solve_case(name, build_fsai)
+            _, _, _, _, _, res_comm = solve_case(name, build_fsaie_comm)
+            ratios.append(res_comm.iterations / max(res_fsai.iterations, 1))
+        assert np.mean(ratios) < 1.0
+        assert min(ratios) < 0.9  # at least one strong winner
+
+    def test_fsaie_comm_beats_fsaie_at_one_rank_per_core(self):
+        """§5.3.2: with many small processes FSAIE-Comm's halo additions
+        matter most.  At catalog scale we assert non-inferiority on average."""
+        diffs = []
+        for name in ("PFlow_742", "ecology2", "thermal2"):
+            case = get_case(name)
+            mat = case.build()
+            part = RowPartition.from_matrix(mat, 8, seed=2)
+            da = DistMatrix.from_global(mat, part)
+            b = DistVector.from_global(paper_rhs(mat, 7), part)
+            it = {}
+            for build in (build_fsaie, build_fsaie_comm):
+                pre = build(mat, part, OPTS)
+                it[pre.name] = pcg(da, b, precond=pre.apply, max_iterations=20000).iterations
+            diffs.append(it["FSAIE"] - it["FSAIE-Comm"])
+        assert np.mean(diffs) >= 0
+
+    def test_modeled_time_improves_with_extension(self):
+        """Iterations drop more than per-iteration cost grows ⇒ modeled
+        time-to-solution improves (Table 1's shape), checked on a strong
+        gainer."""
+        name = "ecology2"
+        _, _, da, _, pre_f, res_f = solve_case(name, build_fsai)
+        _, _, da2, _, pre_c, res_c = solve_case(name, build_fsaie_comm)
+        # 8 threads per MPI process is the paper's default configuration
+        # (§5.2) and the regime where cache-resident extension entries are
+        # nearly free relative to communication and synchronisation.
+        t_fsai = estimate_solver_time(
+            res_f.iterations, da, pre_f, SKYLAKE, threads_per_process=8
+        )
+        t_comm = estimate_solver_time(
+            res_c.iterations, da2, pre_c, SKYLAKE, threads_per_process=8
+        )
+        assert t_comm < t_fsai
+
+    def test_spmd_runtime_full_solve_agrees(self):
+        """The whole preconditioned solve on real message passing matches the
+        BSP result — iteration for iteration."""
+        case = get_case("qa8fm")
+        mat = case.build()
+        part = RowPartition.from_matrix(mat, 4, seed=3)
+        da = DistMatrix.from_global(mat, part)
+        b = DistVector.from_global(paper_rhs(mat, 5), part)
+        pre = build_fsaie_comm(mat, part, OPTS)
+        bsp = pcg(da, b, precond=pre.apply, rtol=PAPER_RTOL)
+        x_spmd, iters = spmd_cg(
+            da, b, rtol=PAPER_RTOL, precond_pair=(pre.g, pre.gt)
+        )
+        assert iters == bsp.iterations
+        assert np.allclose(x_spmd.to_global(), bsp.x.to_global(), atol=1e-9)
+
+    def test_halo_traffic_constant_across_solve(self):
+        """Communication volume of the preconditioner application is
+        identical between FSAI and FSAIE-Comm over an entire solve."""
+        case = get_case("thermal2")
+        mat = case.build()
+        part = RowPartition.from_matrix(mat, 4, seed=0)
+        da = DistMatrix.from_global(mat, part)
+        b = DistVector.from_global(paper_rhs(mat, 1), part)
+        traffic = {}
+        iters = {}
+        for build in (build_fsai, build_fsaie_comm):
+            pre = build(mat, part, OPTS)
+            tracker = CommTracker()
+            res = pcg(da, b, precond=pre.apply, tracker=tracker, max_iterations=20000)
+            traffic[pre.name] = tracker.total_bytes / max(res.iterations, 1)
+            iters[pre.name] = res.iterations
+        # same bytes per iteration although patterns differ
+        assert traffic["FSAI"] == pytest.approx(traffic["FSAIE-Comm"], rel=0.02)
+
+    def test_dynamic_filter_case_study(self):
+        """§5.3.3-style check: when extensions imbalance the factor, the
+        dynamic filter produces a better (or equal) imbalance index than the
+        static filter."""
+        case = get_case("consph")
+        mat = case.build()
+        part = RowPartition.from_matrix(mat, 6, seed=17)
+        static = build_fsaie_comm(
+            mat, part, PrecondOptions(filter=FilterSpec(0.01, dynamic=False))
+        )
+        dynamic = build_fsaie_comm(
+            mat, part, PrecondOptions(filter=FilterSpec(0.01, dynamic=True))
+        )
+        ii_static = imbalance_index(static.nnz_per_rank())
+        ii_dynamic = imbalance_index(dynamic.nnz_per_rank())
+        assert ii_dynamic >= ii_static - 1e-12
+
+
+class TestCatalogBreadth:
+    @pytest.mark.parametrize("case", table1_cases(), ids=lambda c: c.name)
+    def test_every_catalog_matrix_builds_fsaie_comm(self, case):
+        """Broad but cheap: the full pipeline (no solve) on all 39 matrices."""
+        mat = case.build()
+        part = RowPartition.from_matrix(mat, 4, seed=case.case_id)
+        base = build_fsai(mat, part)
+        comm = build_fsaie_comm(mat, part, OPTS)
+        assert check_comm_invariance(base, comm)
+        assert comm.nnz >= base.nnz

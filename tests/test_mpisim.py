@@ -1,0 +1,281 @@
+"""Unit tests for the simulated MPI runtime: engine, collectives, tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.mpisim import (
+    ANY_TAG,
+    MAX,
+    MIN,
+    SUM,
+    CommTracker,
+    ReduceOp,
+    SelfComm,
+    payload_nbytes,
+    run_spmd,
+)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+class TestEngine:
+    def test_returns_per_rank_results(self):
+        assert run_spmd(lambda comm: comm.rank * 10, 4) == [0, 10, 20, 30]
+
+    def test_exception_propagates_with_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(CommError, match="rank 2"):
+            run_spmd(prog, 4, timeout=5)
+
+    def test_point_to_point_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            if comm.rank == 1:
+                # receive out of order by tag
+                b = comm.recv(0, tag=2)
+                a = comm.recv(0, tag=1)
+                return (a, b)
+            return None
+
+        assert run_spmd(prog, 2, timeout=5)[1] == ("a", "b")
+
+    def test_any_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(42, 1, tag=7)
+                return None
+            return comm.recv(0, ANY_TAG)
+
+        assert run_spmd(prog, 2, timeout=5)[1] == 42
+
+    def test_send_copies_numpy_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(buf, 1)
+                buf[:] = -1.0  # mutation after send must not corrupt
+                return None
+            return comm.recv(0)
+
+        assert np.allclose(run_spmd(prog, 2, timeout=5)[1], 1.0)
+
+    def test_recv_timeout_reports_deadlock(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(1, timeout=0.2)  # nobody sends
+            return None
+
+        with pytest.raises(CommError, match="timed out"):
+            run_spmd(prog, 2, timeout=5)
+
+    def test_self_messaging_rejected(self):
+        def prog(comm):
+            comm.send(1, comm.rank)
+
+        with pytest.raises(CommError):
+            run_spmd(prog, 2, timeout=5)
+
+    def test_bad_peer_rejected(self):
+        def prog(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(CommError):
+            run_spmd(prog, 2, timeout=5)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CommError):
+            run_spmd(lambda comm: None, 0)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_sum_scalar(self, size):
+        results = run_spmd(lambda c: c.allreduce(c.rank + 1, SUM), size, timeout=10)
+        assert results == [size * (size + 1) // 2] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_array(self, size):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), SUM)
+
+        for r in run_spmd(prog, size, timeout=10):
+            assert np.allclose(r, sum(range(size)))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max_min(self, size):
+        assert run_spmd(lambda c: c.allreduce(c.rank, MAX), size, timeout=10) == [size - 1] * size
+        assert run_spmd(lambda c: c.allreduce(c.rank, MIN), size, timeout=10) == [0] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("root", [0, -1])
+    def test_bcast(self, size, root):
+        root = root % size
+
+        def prog(comm):
+            return comm.bcast({"v": 7} if comm.rank == root else None, root=root)
+
+        assert run_spmd(prog, size, timeout=10) == [{"v": 7}] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_only_root_gets_result(self, size):
+        root = size - 1
+
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, SUM, root=root)
+
+        results = run_spmd(prog, size, timeout=10)
+        assert results[root] == size * (size + 1) // 2
+        assert all(r is None for i, r in enumerate(results) if i != root)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather_scatter(self, size):
+        def prog(comm):
+            gathered = comm.gather(comm.rank**2, root=0)
+            values = [v * 10 for v in gathered] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        assert run_spmd(prog, size, timeout=10) == [10 * r * r for r in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        results = run_spmd(lambda c: c.allgather(c.rank), size, timeout=10)
+        assert results == [list(range(size))] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_alltoall(self, size):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 100 + j for j in range(size)])
+
+        results = run_spmd(prog, size, timeout=10)
+        for r, row in enumerate(results):
+            assert row == [j * 100 + r for j in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_barrier_completes(self, size):
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(prog, size, timeout=10))
+
+    def test_float_allreduce_deterministic_across_ranks(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(float(rng.standard_normal()), SUM)
+
+        results = run_spmd(prog, 7, timeout=10)
+        assert all(r == results[0] for r in results)
+
+    def test_custom_reduce_op(self):
+        concat = ReduceOp("concat", lambda a, b: a + b)
+        results = run_spmd(lambda c: c.allreduce([c.rank], concat), 4, timeout=10)
+        for r in results:
+            assert sorted(r) == [0, 1, 2, 3]
+
+
+class TestSelfComm:
+    def test_collectives_are_local(self):
+        comm = SelfComm()
+        assert comm.allreduce(5, SUM) == 5
+        assert comm.bcast("x") == "x"
+        assert comm.allgather(3) == [3]
+        assert comm.gather(2) == [2]
+        comm.barrier()
+
+    def test_p2p_rejected(self):
+        comm = SelfComm()
+        with pytest.raises(CommError):
+            comm.send(1, 0)
+        with pytest.raises(CommError):
+            comm.recv(0)
+
+
+class TestTracker:
+    def test_records_messages(self):
+        tracker = CommTracker()
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(10), 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+
+        run_spmd(prog, 2, tracker=tracker, timeout=5)
+        assert tracker.p2p_messages[(0, 1)] == 1
+        assert tracker.p2p_bytes[(0, 1)] == 80
+        assert tracker.total_messages == 1
+        assert tracker.edges() == {(0, 1)}
+
+    def test_reset_and_snapshot(self):
+        tracker = CommTracker()
+        tracker.record_p2p(0, 1, 8)
+        tracker.record_collective("allreduce", 16)
+        snap = tracker.snapshot()
+        assert snap["p2p_messages"] == {(0, 1): 1}
+        assert snap["collective_calls"] == {"allreduce": 1}
+        tracker.reset()
+        assert tracker.total_messages == 0
+
+    def test_same_edges(self):
+        a, b = CommTracker(), CommTracker()
+        a.record_p2p(0, 1, 8)
+        b.record_p2p(0, 1, 800)  # different volume, same edge
+        assert a.same_edges(b)
+        b.record_p2p(1, 0, 8)
+        assert not a.same_edges(b)
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(np.zeros(5)) == 40
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes((1, 2, 3)) == 24
+        assert payload_nbytes({"a": 1}) > 0
+
+
+class TestScanReduceScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scan_prefix_sums(self, size):
+        results = run_spmd(lambda c: c.scan(c.rank + 1, SUM), size, timeout=10)
+        assert results == [sum(range(1, r + 2)) for r in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_scatter(self, size):
+        def prog(comm):
+            return comm.reduce_scatter(
+                [comm.rank * 100 + j for j in range(comm.size)], SUM
+            )
+
+        results = run_spmd(prog, size, timeout=10)
+        for r, got in enumerate(results):
+            assert got == sum(s * 100 + r for s in range(size))
+
+    def test_reduce_scatter_needs_full_list(self):
+        def prog(comm):
+            comm.reduce_scatter([1], SUM)
+
+        with pytest.raises(CommError):
+            run_spmd(prog, 3, timeout=5)
+
+    def test_scan_max(self):
+        values = [3, 1, 4, 1, 5]
+
+        def prog(comm):
+            return comm.scan(values[comm.rank], MAX)
+
+        assert run_spmd(prog, 5, timeout=10) == [3, 3, 4, 4, 5]
+
+    def test_selfcomm_scan(self):
+        from repro.mpisim import SelfComm
+
+        comm = SelfComm()
+        assert comm.scan(7, SUM) == 7
+        assert comm.reduce_scatter([9], SUM) == 9

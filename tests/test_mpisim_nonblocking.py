@@ -1,0 +1,85 @@
+"""Unit tests for nonblocking point-to-point operations (isend/irecv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.mpisim import Request, run_spmd, waitall
+
+
+class TestNonblocking:
+    def test_isend_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(5, 1)
+                done, _ = req.test()
+                assert done
+                assert req.wait() is None
+                return True
+            return comm.recv(0)
+
+        assert run_spmd(prog, 2, timeout=5) == [True, 5]
+
+    def test_irecv_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(3.0), 1, tag=4)
+                return None
+            req = comm.irecv(0, tag=4)
+            return req.wait().tolist()
+
+        assert run_spmd(prog, 2, timeout=5)[1] == [0.0, 1.0, 2.0]
+
+    def test_irecv_test_polls(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = []
+                req = comm.irecv(1)
+                while True:
+                    done, value = req.test()
+                    if done:
+                        got.append(value)
+                        break
+                return got
+            comm.send("payload", 0)
+            return None
+
+        assert run_spmd(prog, 2, timeout=5)[0] == ["payload"]
+
+    def test_wait_is_idempotent(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(7, 1)
+                return None
+            req = comm.irecv(0)
+            return (req.wait(), req.wait())  # second wait returns cached value
+
+        assert run_spmd(prog, 2, timeout=5)[1] == (7, 7)
+
+    def test_waitall_pairwise_exchange(self):
+        def prog(comm):
+            for dst in range(comm.size):
+                if dst != comm.rank:
+                    comm.isend(comm.rank * 10, dst)
+            reqs = [
+                comm.irecv(src) for src in range(comm.size) if src != comm.rank
+            ]
+            return sorted(waitall(reqs))
+
+        results = run_spmd(prog, 4, timeout=10)
+        for r, got in enumerate(results):
+            assert got == sorted(10 * s for s in range(4) if s != r)
+
+    def test_irecv_bad_peer(self):
+        def prog(comm):
+            comm.irecv(99)
+
+        with pytest.raises(CommError):
+            run_spmd(prog, 2, timeout=5)
+
+    def test_standalone_completed_request(self):
+        req = Request(completed=True, value=42)
+        assert req.test() == (True, 42)
+        assert req.wait() == 42

@@ -1,0 +1,229 @@
+"""Unit tests for the graph type and the multilevel partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.matgen import poisson2d
+from repro.partition import (
+    Graph,
+    balanced_chunks,
+    bisect,
+    block_partition_2d,
+    graph_from_matrix,
+    graph_from_pattern,
+    partition_graph,
+    partition_matrix,
+    strip_partition,
+)
+from repro.partition.coarsen import coarsen_once, contract, heavy_edge_matching
+from repro.partition.refine import bisection_balance, fm_refine
+from repro.sparse import SparsityPattern
+
+from conftest import random_sparse
+
+
+def path_graph(n: int) -> Graph:
+    """0—1—2—…—(n−1)."""
+    xadj = [0]
+    adj = []
+    for v in range(n):
+        nbrs = [u for u in (v - 1, v + 1) if 0 <= u < n]
+        adj.extend(nbrs)
+        xadj.append(len(adj))
+    return Graph(xadj, adj)
+
+
+class TestGraph:
+    def test_from_pattern_symmetrizes_and_drops_diagonal(self, rng):
+        mat = random_sparse(rng, 10, 10)
+        g = graph_from_matrix(mat)
+        assert g.num_vertices == 10
+        rows = np.repeat(np.arange(10), np.diff(g.xadj))
+        assert not np.any(rows == g.adjncy)  # no self loops
+        # symmetric adjacency
+        edges = set(zip(rows.tolist(), g.adjncy.tolist()))
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(PartitionError):
+            graph_from_pattern(SparsityPattern.from_csr(random_sparse(rng, 3, 5)))
+
+    def test_edge_cut(self):
+        g = path_graph(4)
+        assert g.edge_cut(np.array([0, 0, 1, 1])) == 1
+        assert g.edge_cut(np.array([0, 1, 0, 1])) == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(PartitionError):
+            Graph([0, 1], [0])
+
+    def test_degree_and_neighbours(self):
+        g = path_graph(3)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.neighbours(1).tolist() == [0, 2]
+
+
+class TestCoarsening:
+    def test_matching_is_valid(self):
+        g = graph_from_matrix(poisson2d(8))
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        for v in range(g.num_vertices):
+            u = match[v]
+            assert match[u] == v  # symmetric
+            if u != v:
+                assert u in g.neighbours(v)
+
+    def test_contract_preserves_weight(self):
+        g = graph_from_matrix(poisson2d(8))
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        coarse, cmap = contract(g, match)
+        assert coarse.total_vertex_weight() == g.total_vertex_weight()
+        assert cmap.min() == 0 and cmap.max() == coarse.num_vertices - 1
+
+    def test_contract_halves_path(self):
+        g = path_graph(8)
+        match = heavy_edge_matching(g, np.random.default_rng(0))
+        coarse, _ = contract(g, match)
+        assert coarse.num_vertices < 8
+
+    def test_coarsen_once_stops_on_edgeless_graph(self):
+        g = Graph([0, 0, 0], [])  # two isolated vertices
+        assert coarsen_once(g, np.random.default_rng(0)) is None
+
+
+class TestRefinement:
+    def test_fm_improves_bad_bisection(self):
+        g = graph_from_matrix(poisson2d(10))
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 2, g.num_vertices)  # random: terrible cut
+        # make it balanced-ish before refining
+        refined = fm_refine(g, bad)
+        assert g.edge_cut(refined) <= g.edge_cut(bad)
+
+    def test_fm_keeps_balance(self):
+        g = graph_from_matrix(poisson2d(10))
+        part = strip_partition(100, 2)
+        refined = fm_refine(g, part, max_imbalance=1.05)
+        assert bisection_balance(g, refined) <= 1.06
+
+    def test_balance_metric(self):
+        g = path_graph(4)
+        assert bisection_balance(g, np.array([0, 0, 1, 1])) == 1.0
+        assert bisection_balance(g, np.array([0, 0, 0, 1])) == pytest.approx(1.5)
+
+
+class TestMultilevel:
+    def test_bisection_of_grid_is_near_optimal(self):
+        n = 16
+        g = graph_from_matrix(poisson2d(n))
+        part = bisect(g, rng=np.random.default_rng(1))
+        # optimal cut is n; accept a small slack
+        assert g.edge_cut(part) <= 2 * n
+        counts = np.bincount(part)
+        assert counts.max() <= 1.06 * g.num_vertices / 2
+
+    @pytest.mark.parametrize("nparts", [1, 2, 3, 5, 8])
+    def test_partition_matrix_balanced(self, nparts):
+        mat = poisson2d(14)
+        part = partition_matrix(mat, nparts, seed=3)
+        counts = np.bincount(part, minlength=nparts)
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() <= 1.25
+        assert set(np.unique(part)) == set(range(nparts))
+
+    def test_partition_graph_rejects_bad_counts(self):
+        g = path_graph(4)
+        with pytest.raises(PartitionError):
+            partition_graph(g, 0)
+        with pytest.raises(PartitionError):
+            partition_graph(g, 5)
+
+    def test_partition_deterministic_for_seed(self):
+        mat = poisson2d(12)
+        a = partition_matrix(mat, 4, seed=9)
+        b = partition_matrix(mat, 4, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_partition_cut_beats_random(self):
+        mat = poisson2d(16)
+        g = graph_from_matrix(mat)
+        part = partition_matrix(mat, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_part = rng.integers(0, 4, g.num_vertices)
+        assert g.edge_cut(part) < g.edge_cut(random_part) / 3
+
+
+class TestGeometric:
+    def test_balanced_chunks(self):
+        assert balanced_chunks(10, 3).tolist() == [4, 3, 3]
+        assert balanced_chunks(9, 3).tolist() == [3, 3, 3]
+        with pytest.raises(PartitionError):
+            balanced_chunks(2, 3)
+
+    def test_strip_partition(self):
+        part = strip_partition(10, 3)
+        assert part.tolist() == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_block_partition_2d_shape(self):
+        part = block_partition_2d(4, 6, 2, 3)
+        assert part.size == 24
+        counts = np.bincount(part, minlength=6)
+        assert counts.tolist() == [4] * 6
+
+    def test_block_partition_2d_contiguous_blocks(self):
+        part = block_partition_2d(4, 4, 2, 2).reshape(4, 4)
+        assert part[0, 0] == part[1, 1]
+        assert part[0, 0] != part[3, 3]
+
+    def test_block_partition_rejects_oversubscription(self):
+        with pytest.raises(PartitionError):
+            block_partition_2d(2, 2, 3, 1)
+
+
+class TestWeightedPartitioning:
+    def _skewed_matrix(self):
+        """Half the rows sparse (circuit), half dense (banded), connected."""
+        from repro.matgen import banded_spd, circuit_laplacian
+        from repro.sparse import CSRMatrix
+
+        a = circuit_laplacian(300, avg_degree=3, seed=2)
+        b = banded_spd(300, 20, seed=3)
+        ra, ca, va = a.to_coo()
+        rb, cb, vb = b.to_coo()
+        rows = np.concatenate([ra, rb + 300, [299, 300, 299, 300]])
+        cols = np.concatenate([ca, cb + 300, [300, 299, 299, 300]])
+        vals = np.concatenate([va, vb, [-0.1, -0.1, 0.2, 0.2]])
+        return CSRMatrix.from_coo((600, 600), rows, cols, vals)
+
+    def test_nnz_weighting_balances_work(self):
+        mat = self._skewed_matrix()
+        rows_part = partition_matrix(mat, 4, seed=1, weight_by_nnz=False)
+        nnz_part = partition_matrix(mat, 4, seed=1, weight_by_nnz=True)
+
+        def nnz_imbalance(part):
+            per = np.array(
+                [mat.row_nnz()[part == p].sum() for p in range(4)], dtype=float
+            )
+            return per.max() / per.mean()
+
+        assert nnz_imbalance(nnz_part) < nnz_imbalance(rows_part)
+        assert nnz_imbalance(nnz_part) < 1.3
+
+    def test_weighted_graph_total(self):
+        mat = self._skewed_matrix()
+        g = graph_from_matrix(mat, weight_by_nnz=True)
+        assert g.total_vertex_weight() == mat.nnz
+
+    def test_row_partition_from_matrix_weighted(self):
+        from repro.dist import RowPartition
+
+        mat = self._skewed_matrix()
+        part = RowPartition.from_matrix(mat, 3, seed=0, weight_by_nnz=True)
+        per = np.array(
+            [mat.row_nnz()[part.global_ids[p]].sum() for p in range(3)], dtype=float
+        )
+        assert per.max() / per.mean() < 1.3

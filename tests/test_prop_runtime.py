@@ -1,0 +1,135 @@
+"""Property-based tests for the runtime substrates: collectives, partitions,
+halo exchange, cache simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import CacheConfig, simulate_misses
+from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.matgen import poisson2d
+from repro.mpisim import MAX, MIN, SUM, run_spmd
+from repro.partition import graph_from_matrix, partition_matrix
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+class TestCollectiveProperties:
+    @SETTINGS
+    @given(st.integers(1, 9), st.integers(0, 2**31 - 1))
+    def test_allreduce_equals_sequential_sum(self, size, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-1000, 1000, size).tolist()
+
+        def prog(comm):
+            return comm.allreduce(values[comm.rank], SUM)
+
+        assert run_spmd(prog, size, timeout=15) == [sum(values)] * size
+
+    @SETTINGS
+    @given(st.integers(2, 8), st.integers(0, 2**31 - 1))
+    def test_minmax_consistency(self, size, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal(size).tolist()
+
+        def prog(comm):
+            return (
+                comm.allreduce(values[comm.rank], MAX),
+                comm.allreduce(values[comm.rank], MIN),
+            )
+
+        for mx, mn in run_spmd(prog, size, timeout=15):
+            assert mx == max(values)
+            assert mn == min(values)
+
+    @SETTINGS
+    @given(st.integers(1, 8), st.integers(0, 7))
+    def test_bcast_from_any_root(self, size, root):
+        root = root % size
+
+        def prog(comm):
+            return comm.bcast(("payload", root) if comm.rank == root else None, root)
+
+        assert run_spmd(prog, size, timeout=15) == [("payload", root)] * size
+
+
+class TestPartitionProperties:
+    @SETTINGS
+    @given(st.integers(6, 14), st.integers(2, 6), st.integers(0, 50))
+    def test_partition_covers_all_vertices_balanced(self, n, nparts, seed):
+        mat = poisson2d(n)
+        part = partition_matrix(mat, nparts, seed=seed)
+        counts = np.bincount(part, minlength=nparts)
+        assert counts.sum() == mat.nrows
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() <= 1.3
+
+    @SETTINGS
+    @given(st.integers(8, 14), st.integers(2, 5), st.integers(0, 50))
+    def test_partition_cut_is_reasonable(self, n, nparts, seed):
+        mat = poisson2d(n)
+        g = graph_from_matrix(mat)
+        part = partition_matrix(mat, nparts, seed=seed)
+        # a sane multilevel partition of a grid cuts far less than half of
+        # all edges
+        assert g.edge_cut(part) < g.num_edges / 2
+
+
+class TestDistProperties:
+    @SETTINGS
+    @given(st.integers(6, 14), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_distributed_spmv_equals_serial(self, n, nparts, seed):
+        mat = poisson2d(n)
+        part = RowPartition.from_matrix(mat, nparts, seed=seed % 100)
+        da = DistMatrix.from_global(mat, part)
+        x = np.random.default_rng(seed).standard_normal(mat.nrows)
+        got = da.spmv(DistVector.from_global(x, part)).to_global()
+        assert np.allclose(got, mat.spmv(x))
+
+    @SETTINGS
+    @given(st.integers(6, 12), st.integers(2, 4), st.integers(0, 2**31 - 1))
+    def test_halo_volume_counts_off_rank_couplings(self, n, nparts, seed):
+        mat = poisson2d(n)
+        part = RowPartition.from_matrix(mat, nparts, seed=seed % 100)
+        da = DistMatrix.from_global(mat, part)
+        # each rank's halo size equals its distinct off-rank columns
+        for p, lm in enumerate(da.locals):
+            rows = part.global_ids[p]
+            cols = set()
+            for g in rows:
+                lo, hi = mat.indptr[g], mat.indptr[g + 1]
+                for c in mat.indices[lo:hi]:
+                    if part.owner[c] != p:
+                        cols.add(int(c))
+            assert lm.n_halo == len(cols)
+
+
+class TestCacheProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=400),
+        st.sampled_from([(1024, 64, 2), (4096, 64, 8), (2048, 256, 4)]),
+    )
+    def test_miss_count_bounds(self, stream, geometry):
+        size, line, assoc = geometry
+        cfg = CacheConfig(size, line, assoc)
+        arr = np.asarray(stream, dtype=np.int64)
+        misses = simulate_misses(arr, cfg)
+        assert np.unique(arr).size <= misses <= arr.size
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_infinite_cache_only_cold_misses(self, stream):
+        # cache big enough to hold every line: misses == distinct lines
+        cfg = CacheConfig(64 * 1024, 64, 16)
+        arr = np.asarray(stream, dtype=np.int64)
+        assert simulate_misses(arr, cfg) == np.unique(arr).size
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    def test_determinism(self, stream):
+        cfg = CacheConfig(1024, 64, 2)
+        arr = np.asarray(stream, dtype=np.int64)
+        assert simulate_misses(arr, cfg) == simulate_misses(arr, cfg)

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import CSRMatrix, SparsityPattern, spgemm, symbolic_spgemm
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=12, square=False):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = nrows if square else draw(st.integers(1, max_dim))
+    dense = draw(
+        hnp.arrays(
+            np.float64,
+            (nrows, ncols),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    # sparsify ~60%
+    mask = draw(
+        hnp.arrays(np.bool_, (nrows, ncols), elements=st.booleans())
+    )
+    dense = np.where(mask, dense, 0.0)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestCSRProperties:
+    @SETTINGS
+    @given(sparse_matrices())
+    def test_dense_roundtrip(self, mat):
+        assert CSRMatrix.from_dense(mat.to_dense()).allclose(mat, atol=0)
+
+    @SETTINGS
+    @given(sparse_matrices())
+    def test_coo_roundtrip(self, mat):
+        r, c, v = mat.to_coo()
+        back = CSRMatrix.from_coo(mat.shape, r, c, v)
+        # explicit zeros are dropped by neither path; structures must agree
+        assert back.allclose(mat, atol=0)
+
+    @SETTINGS
+    @given(sparse_matrices())
+    def test_transpose_involution(self, mat):
+        assert mat.transpose().transpose() == mat
+
+    @SETTINGS
+    @given(sparse_matrices(), st.integers(0, 2**32 - 1))
+    def test_spmv_matches_dense(self, mat, seed):
+        x = np.random.default_rng(seed).standard_normal(mat.ncols)
+        assert np.allclose(mat.spmv(x), mat.to_dense() @ x)
+
+    @SETTINGS
+    @given(sparse_matrices(), st.integers(0, 2**32 - 1))
+    def test_transpose_spmv_consistency(self, mat, seed):
+        x = np.random.default_rng(seed).standard_normal(mat.nrows)
+        assert np.allclose(mat.spmv_transpose(x), mat.transpose().spmv(x))
+
+    @SETTINGS
+    @given(sparse_matrices(square=True))
+    def test_triangular_split_reassembles(self, mat):
+        lower = mat.extract_lower().to_dense()
+        upper = mat.extract_upper(strict=True).to_dense()
+        assert np.allclose(lower + upper, mat.to_dense())
+
+    @SETTINGS
+    @given(sparse_matrices(square=True), st.integers(0, 2**32 - 1))
+    def test_spmv_adjoint_identity(self, mat, seed):
+        """⟨Ax, y⟩ == ⟨x, Aᵀy⟩ — exercises both SpMV kernels at once."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(mat.ncols)
+        y = rng.standard_normal(mat.nrows)
+        assert np.isclose(mat.spmv(x) @ y, x @ mat.spmv_transpose(y))
+
+
+class TestSpGEMMProperties:
+    @SETTINGS
+    @given(sparse_matrices(max_dim=8, square=True), sparse_matrices(max_dim=8, square=True))
+    def test_product_matches_dense(self, a, b):
+        if a.ncols != b.nrows:
+            b = CSRMatrix.from_dense(np.zeros((a.ncols, a.ncols)))
+        assert np.allclose(spgemm(a, b).to_dense(), a.to_dense() @ b.to_dense())
+
+    @SETTINGS
+    @given(sparse_matrices(max_dim=8, square=True))
+    def test_symbolic_covers_numeric(self, a):
+        numeric = spgemm(a, a)
+        symbolic = symbolic_spgemm(
+            SparsityPattern.from_csr(a), SparsityPattern.from_csr(a)
+        )
+        assert SparsityPattern.from_csr(numeric).issubset(symbolic)
+
+
+class TestPatternProperties:
+    @SETTINGS
+    @given(sparse_matrices(square=True), sparse_matrices(square=True))
+    def test_union_commutative_and_absorbing(self, a, b):
+        if a.shape != b.shape:
+            return
+        pa, pb = SparsityPattern.from_csr(a), SparsityPattern.from_csr(b)
+        assert pa.union(pb) == pb.union(pa)
+        assert pa.issubset(pa.union(pb))
+        assert pa.intersection(pb).issubset(pa)
+
+    @SETTINGS
+    @given(sparse_matrices(square=True))
+    def test_demorgan_like_identity(self, a):
+        pa = SparsityPattern.from_csr(a)
+        lower, diagless = pa.lower(), pa.lower(strict=True)
+        assert diagless.issubset(lower)
+
+    @SETTINGS
+    @given(sparse_matrices(square=True))
+    def test_transpose_involution(self, a):
+        pa = SparsityPattern.from_csr(a)
+        assert pa.transpose().transpose() == pa

@@ -1,0 +1,59 @@
+"""Unit tests for the §5.2 parallel-configuration sizing rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matgen import poisson2d
+from repro.perfmodel import SKYLAKE, select_rank_count
+
+
+class TestSizingRule:
+    def test_initial_ranks_follow_workload(self):
+        mat = poisson2d(40)  # ~7900 nnz
+        res = select_rank_count(
+            mat, SKYLAKE, threads_per_process=8, entries_per_thread=250,
+            efficiency_threshold=2.0,  # forbid all doublings
+        )
+        assert res.ranks == max(1, round(mat.nnz / (8 * 250)))
+        assert res.cores == res.ranks * 8
+        assert res.efficiencies == ()
+
+    def test_doubling_accepted_when_compute_dominates(self):
+        # large per-rank work: halving it is nearly free => efficiency ~1
+        mat = poisson2d(48)
+        res = select_rank_count(
+            mat, SKYLAKE, threads_per_process=1,
+            entries_per_thread=mat.nnz,  # start at 1 rank
+            efficiency_threshold=0.5,
+            max_ranks=4,
+        )
+        assert res.ranks >= 2
+        assert all(e >= 0.5 for e in res.efficiencies)
+
+    def test_threshold_stops_doubling(self):
+        mat = poisson2d(24)
+        strict = select_rank_count(
+            mat, SKYLAKE, entries_per_thread=200, efficiency_threshold=0.999,
+            threads_per_process=1, max_ranks=32,
+        )
+        loose = select_rank_count(
+            mat, SKYLAKE, entries_per_thread=200, efficiency_threshold=0.10,
+            threads_per_process=1, max_ranks=32,
+        )
+        assert strict.ranks <= loose.ranks
+
+    def test_caps_respected(self):
+        mat = poisson2d(16)
+        res = select_rank_count(
+            mat, SKYLAKE, entries_per_thread=1, threads_per_process=1, max_ranks=8,
+            efficiency_threshold=0.0,
+        )
+        assert res.ranks <= 8
+
+    def test_rejects_bad_arguments(self):
+        mat = poisson2d(8)
+        with pytest.raises(ValueError):
+            select_rank_count(mat, SKYLAKE, threads_per_process=0)
+        with pytest.raises(ValueError):
+            select_rank_count(mat, SKYLAKE, entries_per_thread=0)

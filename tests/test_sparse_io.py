@@ -1,0 +1,76 @@
+"""Unit tests for MatrixMarket I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import read_matrix_market, write_matrix_market
+
+from conftest import random_sparse
+
+
+class TestRoundtrip:
+    def test_general_roundtrip(self, rng, tmp_path):
+        mat = random_sparse(rng, 8, 6)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, mat)
+        assert read_matrix_market(path).allclose(mat)
+
+    def test_symmetric_roundtrip(self, small_spd, tmp_path):
+        path = tmp_path / "s.mtx"
+        write_matrix_market(path, small_spd, symmetric=True)
+        back = read_matrix_market(path)
+        assert back.allclose(small_spd)
+
+    def test_gzip_roundtrip(self, rng, tmp_path):
+        mat = random_sparse(rng, 5, 5)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, mat)
+        assert read_matrix_market(path).allclose(mat)
+
+
+class TestParsing:
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment line\n"
+            "2 2 2\n1 1\n2 2\n"
+        )
+        mat = read_matrix_market(path)
+        assert np.allclose(mat.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n1 1 2.0\n2 1 3.0\n"
+        )
+        mat = read_matrix_market(path)
+        assert np.allclose(mat.to_dense(), [[2.0, 3.0], [3.0, 0.0]])
+
+    def test_missing_banner(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("2 2 0\n")
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(path)
+
+    def test_unsupported_format(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+        with pytest.raises(SparseFormatError):
+            read_matrix_market(path)

@@ -1,0 +1,118 @@
+"""Unit tests for BLAS-1 helpers and sparse utility operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotSPDError, ShapeError
+from repro.sparse import (
+    CSRMatrix,
+    axpy,
+    check_spd,
+    dot,
+    drop_small_relative,
+    is_symmetric,
+    max_norm,
+    norm2,
+    xpay,
+)
+
+from conftest import random_sparse
+
+
+class TestVectorKernels:
+    def test_axpy_in_place(self, rng):
+        x, y = rng.standard_normal(10), rng.standard_normal(10)
+        expected = y + 0.5 * x
+        result = axpy(0.5, x, y)
+        assert result is y
+        assert np.allclose(y, expected)
+
+    def test_xpay_in_place(self, rng):
+        x, y = rng.standard_normal(10), rng.standard_normal(10)
+        expected = x + 2.0 * y
+        result = xpay(x, 2.0, y)
+        assert result is y
+        assert np.allclose(y, expected)
+
+    def test_dot_and_norm(self, rng):
+        x, y = rng.standard_normal(10), rng.standard_normal(10)
+        assert dot(x, y) == pytest.approx(float(x @ y))
+        assert norm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ShapeError):
+            axpy(1.0, np.ones(3), np.ones(4))
+        with pytest.raises(ShapeError):
+            xpay(np.ones(3), 1.0, np.ones(4))
+        with pytest.raises(ShapeError):
+            dot(np.ones(3), np.ones(4))
+
+
+class TestMatrixChecks:
+    def test_max_norm(self, rng):
+        mat = random_sparse(rng, 6, 6)
+        assert max_norm(mat) == pytest.approx(np.abs(mat.to_dense()).max())
+
+    def test_max_norm_empty(self):
+        assert max_norm(CSRMatrix.zeros((3, 3))) == 0.0
+
+    def test_is_symmetric(self, rng, small_spd):
+        assert is_symmetric(small_spd)
+        assert not is_symmetric(random_sparse(rng, 6, 6))
+        assert not is_symmetric(random_sparse(rng, 4, 6))
+
+    def test_check_spd_accepts(self, small_spd):
+        check_spd(small_spd)
+
+    def test_check_spd_rejects_asymmetric(self, rng):
+        with pytest.raises(NotSPDError):
+            check_spd(random_sparse(rng, 6, 6))
+
+    def test_check_spd_rejects_negative_diagonal(self):
+        mat = CSRMatrix.from_dense(np.diag([1.0, -1.0, 2.0]))
+        with pytest.raises(NotSPDError):
+            check_spd(mat)
+
+    def test_check_spd_rejects_indefinite(self):
+        dense = np.array([[1.0, 4.0], [4.0, 1.0]])  # eigenvalues 5 and -3
+        with pytest.raises(NotSPDError):
+            check_spd(CSRMatrix.from_dense(dense))
+
+
+class TestRelativeDropping:
+    def test_drops_small_keeps_diagonal(self):
+        dense = np.array(
+            [[10.0, 0.01, 0.0], [0.01, 10.0, 5.0], [0.0, 5.0, 10.0]]
+        )
+        mat = CSRMatrix.from_dense(dense)
+        out = drop_small_relative(mat, 0.1)
+        got = out.to_dense()
+        assert got[0, 1] == 0.0
+        assert got[1, 2] == 5.0
+        assert np.allclose(np.diag(got), 10.0)
+
+    def test_scale_independent(self, small_spd):
+        scaled = CSRMatrix(
+            small_spd.shape,
+            small_spd.indptr,
+            small_spd.indices,
+            small_spd.data * 1e6,
+            check=False,
+        )
+        a = drop_small_relative(small_spd, 0.05)
+        b = drop_small_relative(scaled, 0.05)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_zero_tolerance_keeps_all(self, small_spd):
+        out = drop_small_relative(small_spd, 0.0)
+        assert out.nnz == small_spd.nnz
+
+    def test_rejects_negative_tolerance(self, small_spd):
+        with pytest.raises(ValueError):
+            drop_small_relative(small_spd, -1.0)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ShapeError):
+            drop_small_relative(random_sparse(rng, 3, 5), 0.1)

@@ -1,0 +1,71 @@
+"""Unit tests for symbolic and numeric SpGEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSRMatrix, SparsityPattern, spgemm, symbolic_spgemm
+
+from conftest import random_sparse
+
+
+class TestNumeric:
+    @pytest.mark.parametrize("shape", [(5, 7, 6), (1, 1, 1), (10, 3, 10), (4, 8, 2)])
+    def test_matches_dense(self, rng, shape):
+        m, k, n = shape
+        a = random_sparse(rng, m, k, density=0.4)
+        b = random_sparse(rng, k, n, density=0.4)
+        assert np.allclose(spgemm(a, b).to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_identity_neutral(self, rng):
+        a = random_sparse(rng, 6, 6)
+        eye = CSRMatrix.identity(6)
+        assert spgemm(a, eye).allclose(a)
+        assert spgemm(eye, a).allclose(a)
+
+    def test_zero_operand(self, rng):
+        a = random_sparse(rng, 4, 4)
+        z = CSRMatrix.zeros((4, 4))
+        assert spgemm(a, z).nnz == 0
+        assert spgemm(z, a).nnz == 0
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            spgemm(random_sparse(rng, 3, 4), random_sparse(rng, 5, 3))
+
+    def test_cancellation_keeps_entry(self):
+        # numeric zero from cancellation is still a stored entry (symbolic)
+        a = CSRMatrix.from_coo((1, 2), [0, 0], [0, 1], [1.0, -1.0])
+        b = CSRMatrix.from_coo((2, 1), [0, 1], [0, 0], [1.0, 1.0])
+        prod = spgemm(a, b)
+        assert prod.nnz == 1
+        assert prod.data[0] == 0.0
+
+
+class TestSymbolic:
+    def test_matches_numeric_structure(self, rng):
+        a = random_sparse(rng, 8, 8, density=0.3)
+        b = random_sparse(rng, 8, 8, density=0.3)
+        sym = symbolic_spgemm(
+            SparsityPattern.from_csr(a), SparsityPattern.from_csr(b)
+        )
+        dense = (np.abs(a.to_dense()) > 0).astype(float) @ (
+            np.abs(b.to_dense()) > 0
+        ).astype(float)
+        assert np.array_equal(sym.to_csr().to_dense() != 0, dense > 0)
+
+    def test_empty_rows(self):
+        a = SparsityPattern.from_rows((3, 3), [[], [0, 2], []])
+        b = SparsityPattern.from_rows((3, 3), [[1], [], [0, 1]])
+        prod = symbolic_spgemm(a, b)
+        assert prod.row(0).size == 0
+        assert prod.row(1).tolist() == [0, 1]
+        assert prod.row(2).size == 0
+
+    def test_dimension_mismatch(self):
+        a = SparsityPattern.empty((2, 3))
+        b = SparsityPattern.empty((4, 2))
+        with pytest.raises(ShapeError):
+            symbolic_spgemm(a, b)

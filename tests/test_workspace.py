@@ -1,0 +1,65 @@
+"""Unit tests for the ExtensionWorkspace sweep API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExtensionMode,
+    ExtensionWorkspace,
+    FilterSpec,
+    PrecondOptions,
+    build_fsaie,
+    build_fsaie_comm,
+)
+from repro.dist import RowPartition
+from repro.matgen import poisson2d
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mat = poisson2d(18)
+    part = RowPartition.from_matrix(mat, 3, seed=0)
+    return mat, part
+
+
+class TestWorkspace:
+    def test_finalize_matches_direct_build(self, setup):
+        mat, part = setup
+        for mode, build in (
+            (ExtensionMode.LOCAL, build_fsaie),
+            (ExtensionMode.COMM, build_fsaie_comm),
+        ):
+            ws = ExtensionWorkspace("X", mat, part, mode)
+            for f, dyn in ((0.01, True), (0.1, False)):
+                spec = FilterSpec(f, dynamic=dyn)
+                from_ws = ws.finalize(spec)
+                direct = build(mat, part, PrecondOptions(filter=spec))
+                assert from_ws.g.to_global().allclose(direct.g.to_global())
+                assert np.allclose(from_ws.filters, direct.filters)
+
+    def test_repeated_finalize_is_pure(self, setup):
+        mat, part = setup
+        ws = ExtensionWorkspace("X", mat, part, ExtensionMode.COMM)
+        a = ws.finalize(FilterSpec(0.05, dynamic=True))
+        b = ws.finalize(FilterSpec(0.05, dynamic=True))
+        assert a.g.to_global().allclose(b.g.to_global())
+        # a different filter still works after previous finalizations
+        c = ws.finalize(FilterSpec(0.5, dynamic=False))
+        assert c.nnz <= a.nnz
+
+    def test_monotone_in_filter(self, setup):
+        mat, part = setup
+        ws = ExtensionWorkspace("X", mat, part, ExtensionMode.COMM)
+        sizes = [ws.finalize(FilterSpec(f, dynamic=False)).nnz for f in (0.0, 0.05, 0.2, 1e9)]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] == ws.base.nnz  # everything filtered -> base pattern
+
+    def test_workspace_exposes_stats(self, setup):
+        mat, part = setup
+        ws = ExtensionWorkspace("X", mat, part, ExtensionMode.COMM, line_bytes=128)
+        assert ws.ext_nnz_unfiltered == sum(e.n_added for e in ws.extensions)
+        assert ws.g_pre.nnz == ws.base.nnz + ws.ext_nnz_unfiltered
+        assert ws.base_counts.sum() == ws.base.nnz
+        assert sum(len(r) for r in ws.ext_ratios_per_rank) == ws.ext_nnz_unfiltered
