@@ -14,6 +14,12 @@ Environment knobs
 ``REPRO_SUBSET``
     If set to an integer N, only the first N matrices of each table are
     evaluated (useful for smoke runs).
+
+Timings come from the shared instrumentation registry: every cached build and
+solve runs under the harness :data:`TRACER`/:data:`METRICS` pair, and
+:func:`recorded_seconds` / :func:`setup_seconds` / :func:`solve_seconds` read
+the accumulated span durations back out instead of ad-hoc ``time.time()``
+bookkeeping.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core import (
     pcg,
 )
 from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.instrument import MetricsRegistry, Tracer, tracing
 from repro.matgen import (
     PAPER_RTOL,
     MatrixCase,
@@ -53,6 +60,53 @@ _workspaces: dict = {}
 _preconds: dict = {}
 _solves: dict = {}
 _misses: dict = {}
+
+#: Shared instrumentation sinks for every cached build/solve in the session.
+TRACER = Tracer()
+METRICS = MetricsRegistry()
+
+
+def reset_instrumentation() -> None:
+    """Drop recorded spans and metrics (caches stay warm)."""
+    TRACER.clear()
+    METRICS.clear()
+
+
+def recorded_seconds(prefix: str) -> float:
+    """Total seconds spent in spans whose name starts with ``prefix``.
+
+    Only root-level occurrences count: a ``precond.build`` span containing a
+    ``precond.factor`` child contributes once under ``"precond."``.
+    """
+    spans = TRACER.spans
+    by_id = {s.span_id: s for s in spans}
+
+    def outermost(span) -> bool:
+        parent = by_id.get(span.parent_id)
+        while parent is not None:
+            if parent.name.startswith(prefix):
+                return False
+            parent = by_id.get(parent.parent_id)
+        return True
+
+    return sum(
+        s.duration for s in spans if s.name.startswith(prefix) and outermost(s)
+    )
+
+
+def setup_seconds() -> float:
+    """Accumulated preconditioner construction time (pattern → factor)."""
+    return recorded_seconds("precond.") + recorded_seconds("spmd.")
+
+
+def solve_seconds() -> float:
+    """Accumulated solver time across every cached solve."""
+    return recorded_seconds("pcg.solve")
+
+
+def iteration_count(name: str = "pcg.iterations") -> int:
+    """Total solver iterations recorded in the metrics registry."""
+    return int(METRICS.sum_values(name))
 
 
 def scale() -> float:
@@ -102,9 +156,10 @@ def workspace(name: str, large: bool, method: str, line_bytes: int) -> Extension
         prob = problem(name, large)
         mode = ExtensionMode.LOCAL if method == "fsaie" else ExtensionMode.COMM
         label = "FSAIE" if method == "fsaie" else "FSAIE-Comm"
-        _workspaces[key] = ExtensionWorkspace(
-            label, prob.mat, prob.part, mode, line_bytes=line_bytes
-        )
+        with tracing(TRACER, METRICS):
+            _workspaces[key] = ExtensionWorkspace(
+                label, prob.mat, prob.part, mode, line_bytes=line_bytes
+            )
     return _workspaces[key]
 
 
@@ -122,12 +177,14 @@ def preconditioner(
         key = (name, large, "fsai", scale())
         if key not in _preconds:
             prob = problem(name, large)
-            _preconds[key] = build_fsai(prob.mat, prob.part)
+            with tracing(TRACER, METRICS):
+                _preconds[key] = build_fsai(prob.mat, prob.part)
         return _preconds[key]
     key = (name, large, method, line_bytes, filter_value, dynamic, scale())
     if key not in _preconds:
         ws = workspace(name, large, method, line_bytes)
-        _preconds[key] = ws.finalize(FilterSpec(filter_value, dynamic=dynamic))
+        with tracing(TRACER, METRICS):
+            _preconds[key] = ws.finalize(FilterSpec(filter_value, dynamic=dynamic))
     return _preconds[key]
 
 
@@ -152,9 +209,10 @@ def solve(
             filter_value=filter_value,
             dynamic=dynamic,
         )
-        _solves[key] = pcg(
-            prob.da, prob.b, precond=pre.apply, rtol=PAPER_RTOL, max_iterations=50_000
-        )
+        with tracing(TRACER, METRICS):
+            _solves[key] = pcg(
+                prob.da, prob.b, precond=pre, rtol=PAPER_RTOL, max_iterations=50_000
+            )
     return _solves[key]
 
 

@@ -49,7 +49,7 @@ def main() -> None:
     results = {}
     for build in (build_fsai, build_fsaie, build_fsaie_comm):
         pre = build(mat, part)
-        res = pcg(da, b, precond=pre.apply, rtol=PAPER_RTOL)
+        res = pcg(da, b, precond=pre, rtol=PAPER_RTOL)
         results[pre.name] = (pre, res)
         print(
             f"{pre.name:11s} iterations={res.iterations:4d} "

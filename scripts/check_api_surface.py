@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Lint the public API surface against the generated reference.
+
+Run:  python scripts/check_api_surface.py
+
+Checks, for every package listed in ``scripts/gen_api_docs.py``:
+
+1. every name in the module's ``__all__`` resolves via ``getattr`` (no stale
+   exports), and
+2. every exported name appears in ``docs/API.md`` (the reference was
+   regenerated after the surface last changed).
+
+Exit code 0 when clean; 1 with a line per violation otherwise.  Wired into
+the test suite as ``tests/test_api_surface.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from gen_api_docs import PACKAGES  # noqa: E402 — sibling script, same list
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def check_package(modname: str, api_text: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        mod = importlib.import_module(modname)
+    except Exception as exc:  # pragma: no cover — import errors are the finding
+        return [f"{modname}: import failed: {exc!r}"]
+    exported = getattr(mod, "__all__", None)
+    if exported is None:
+        return problems
+    seen = set()
+    for name in exported:
+        if name in seen:
+            problems.append(f"{modname}.__all__ lists {name!r} twice")
+        seen.add(name)
+        if not hasattr(mod, name):
+            problems.append(f"{modname}.__all__ exports {name!r} but it is not defined")
+            continue
+        if f"`{name}`" not in api_text and name not in api_text:
+            problems.append(
+                f"{modname}.{name} is exported but missing from docs/API.md — "
+                "re-run scripts/gen_api_docs.py"
+            )
+    return problems
+
+
+def main() -> int:
+    if not API_MD.exists():
+        print(f"missing {API_MD} — run scripts/gen_api_docs.py", file=sys.stderr)
+        return 1
+    api_text = API_MD.read_text()
+    problems: list[str] = []
+    for pkg in PACKAGES:
+        problems.extend(check_package(pkg, api_text))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} API surface problem(s)", file=sys.stderr)
+        return 1
+    print(f"API surface clean: {len(PACKAGES)} packages checked against {API_MD.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ filtering) together with every substrate it depends on, from scratch:
 * :mod:`repro.perfmodel` — machine models and the solver-time model
 * :mod:`repro.matgen`    — synthetic workloads and the evaluation catalog
 * :mod:`repro.analysis`  — metrics, tables and histograms for the benches
+* :mod:`repro.instrument`— span tracing, metrics and trace exporters
 
 Quickstart::
 
@@ -29,8 +30,14 @@ Quickstart::
     part = RowPartition.from_matrix(A, nparts=8)
     dA = DistMatrix.from_global(A, part)
     M = build_fsaie_comm(A, part)
-    result = pcg(dA, DistVector.from_global(paper_rhs(A), part), precond=M.apply)
+    result = pcg(dA, DistVector.from_global(paper_rhs(A), part), precond=M)
     print(result.iterations, result.converged)
+
+Solvers accept the preconditioner object directly (``precond=M``); any
+object with an ``.apply(r, tracker)`` method or a bare callable works.  To
+record where time goes, wrap the run in :func:`repro.instrument.tracing` and
+export with :func:`repro.instrument.write_chrome_trace` (or run
+``python -m repro trace``).
 """
 
 from repro.core import (

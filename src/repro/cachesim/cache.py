@@ -114,6 +114,21 @@ class SetAssociativeCache:
 
 
 def simulate_misses(line_ids: np.ndarray, config: CacheConfig) -> int:
-    """Misses of a fresh cache of ``config`` over the given line-id stream."""
+    """Misses of a fresh cache of ``config`` over the given line-id stream.
+
+    With instrumentation enabled, cumulative ``cachesim.hits`` /
+    ``cachesim.misses`` counters and last-run gauges are published to the
+    active metrics registry (:mod:`repro.instrument`).
+    """
+    from repro.instrument import get_metrics
+
     cache = SetAssociativeCache(config)
-    return cache.access_stream(line_ids)
+    misses = cache.access_stream(line_ids)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("cachesim.hits").inc(cache.hits)
+        metrics.counter("cachesim.misses").inc(cache.misses)
+        metrics.gauge("cachesim.hit_rate").set(
+            cache.hits / max(cache.hits + cache.misses, 1)
+        )
+    return misses

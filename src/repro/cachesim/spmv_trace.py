@@ -45,16 +45,23 @@ def precond_x_misses_per_rank(
     Both SpMVs are replayed back-to-back per rank through one cache (the
     second product reuses lines the first loaded, as on real hardware).
     """
+    from repro.instrument import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    metrics = get_metrics()
     nparts = g.partition.nparts
     out = np.zeros(nparts, dtype=np.int64)
-    for p in range(nparts):
-        stream = np.concatenate(
-            [
-                x_access_lines(g.locals[p].csr, config.line_bytes),
-                x_access_lines(gt.locals[p].csr, config.line_bytes),
-            ]
-        )
-        out[p] = simulate_misses(stream, config)
+    with tracer.span("cachesim.precond_x_misses", ranks=nparts):
+        for p in range(nparts):
+            stream = np.concatenate(
+                [
+                    x_access_lines(g.locals[p].csr, config.line_bytes),
+                    x_access_lines(gt.locals[p].csr, config.line_bytes),
+                ]
+            )
+            out[p] = simulate_misses(stream, config)
+            if metrics.enabled:
+                metrics.gauge("cachesim.x_misses", rank=p).set(int(out[p]))
     return out
 
 

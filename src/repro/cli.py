@@ -6,6 +6,7 @@ Usage::
     python -m repro solve   --matrix system.mtx --method fsaie --filter 0.05
     python -m repro compare --generate catalog:thermal2 --machine a64fx
     python -m repro info    --matrix system.mtx
+    python -m repro trace   --workload poisson3d --nparts 8 --output trace.json
 
 Matrix sources: ``--matrix FILE`` reads MatrixMarket; ``--generate SPEC``
 builds a synthetic problem, where SPEC is one of
@@ -90,7 +91,7 @@ def cmd_solve(args) -> int:
     """``repro solve``: one system, one method, full report."""
     mat, part, da, b = _setup(args)
     pre = _BUILDERS[args.method](mat, part, _options(args))
-    result = pcg(da, b, precond=pre.apply, rtol=args.rtol, max_iterations=args.max_iterations)
+    result = pcg(da, b, precond=pre, rtol=args.rtol, max_iterations=args.max_iterations)
     x = result.x.to_global()
     rel = np.linalg.norm(mat.spmv(x) - b.to_global()) / np.linalg.norm(b.to_global())
     model = CostModel(MACHINES[args.machine], threads_per_process=args.threads)
@@ -114,7 +115,7 @@ def cmd_compare(args) -> int:
     results = {}
     for method, build in _BUILDERS.items():
         pre = build(mat, part, _options(args))
-        res = pcg(da, b, precond=pre.apply, rtol=args.rtol, max_iterations=args.max_iterations)
+        res = pcg(da, b, precond=pre, rtol=args.rtol, max_iterations=args.max_iterations)
         t = res.iterations * model.iteration_cost(da, pre).total
         results[method] = (pre, res, t)
         rows.append(
@@ -167,6 +168,42 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: instrumented build + solve, exported as a trace file.
+
+    Records construction-phase spans (pattern, extension, filtering, factor),
+    per-iteration solver spans and halo-exchange spans with byte counts, then
+    writes them in Chrome ``trace_event`` form (loadable in ``about:tracing``
+    / Perfetto) or the plain JSON document form.
+    """
+    from repro.instrument import tracing, write_chrome_trace, write_json_trace
+    from repro.mpisim.tracker import CommTracker
+
+    if args.workload:
+        args.generate = args.workload
+    args.ranks = args.nparts
+    mat, part, da, b = _setup(args)
+    tracker = CommTracker()
+    with tracing() as (tracer, metrics):
+        pre = _BUILDERS[args.method](mat, part, _options(args))
+        result = pcg(
+            da, b, precond=pre, rtol=args.rtol,
+            max_iterations=args.max_iterations, tracker=tracker,
+        )
+    writer = write_chrome_trace if args.format == "chrome" else write_json_trace
+    path = writer(args.output, tracer, metrics)
+    halo_bytes = sum(int(s.tags["bytes"]) for s in tracer.by_name("halo.exchange"))
+    print(f"trace            : {path} ({args.format}, {len(tracer)} spans)")
+    print(f"matrix           : {mat.nrows} rows, {mat.nnz} nnz, {args.ranks} ranks")
+    print(f"preconditioner   : {pre.name}")
+    print(f"iterations       : {result.iterations} (converged={result.converged}, "
+          f"{len(tracer.by_name('pcg.iteration'))} iteration spans)")
+    print(f"halo traffic     : {halo_bytes} bytes in "
+          f"{len(tracer.by_name('halo.exchange'))} exchanges "
+          f"(tracker: {tracker.total_bytes} bytes)")
+    return 0 if result.converged else 1
+
+
 def cmd_info(args) -> int:
     """``repro info``: structural statistics of a matrix."""
     from repro.order import bandwidth
@@ -213,6 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="FSAI vs FSAIE vs FSAIE-Comm")
     add_common(p_cmp, with_solver=True)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_trace = sub.add_parser(
+        "trace", help="record an instrumented build + solve as a trace file"
+    )
+    add_common(p_trace, with_solver=True)
+    p_trace.add_argument("--workload", help="synthetic spec (alias of --generate)")
+    p_trace.add_argument("--nparts", type=int, default=8,
+                         help="number of ranks (overrides --ranks)")
+    p_trace.add_argument("--method", choices=sorted(_BUILDERS), default="comm")
+    p_trace.add_argument("--format", choices=("chrome", "json"), default="chrome",
+                         help="chrome trace_event file or plain JSON document")
+    p_trace.add_argument("--output", default="trace.json", help="output path")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_info = sub.add_parser("info", help="matrix statistics")
     add_common(p_info, with_solver=False)

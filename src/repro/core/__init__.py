@@ -8,12 +8,16 @@ Typical use::
     part = RowPartition.from_matrix(A, nparts=16)
     dA = DistMatrix.from_global(A, part)
     M = build_fsaie_comm(A, part, PrecondOptions(filter=FilterSpec(0.01)))
-    result = pcg(dA, DistVector.from_global(b, part), precond=M.apply)
+    result = pcg(dA, DistVector.from_global(b, part), precond=M)
+
+``precond=`` takes the preconditioner object itself (anything with an
+``.apply(r, tracker)`` method) or a bare callable; see
+:func:`repro.core.cg.resolve_precond`.
 """
 
 from repro.core.adaptive import FSPAIOptions, fspai_factor, fspai_pattern
 from repro.core.baselines import block_jacobi_preconditioner, jacobi_preconditioner
-from repro.core.cg import CGResult, cg, pcg
+from repro.core.cg import CGResult, cg, pcg, resolve_precond
 from repro.core.extension import (
     ExtensionMode,
     RankExtension,
@@ -78,6 +82,7 @@ __all__ = [
     "CGResult",
     "pcg",
     "cg",
+    "resolve_precond",
     "jacobi_preconditioner",
     "block_jacobi_preconditioner",
 ]

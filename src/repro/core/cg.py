@@ -7,23 +7,63 @@ inverse is applied in the paper.
 
 Convergence criterion (paper §5.1): reduce the initial residual 2-norm by
 ``rtol`` (default 1e-8, eight orders of magnitude); initial guess zero.
+
+The ``precond`` argument accepts either a first-class preconditioner object
+(anything with an ``.apply(r, tracker)`` method, e.g.
+:class:`repro.core.precond.Preconditioner`) or a bare callable
+``z = M(r, tracker)``; see :func:`resolve_precond`.
+
+When tracing is enabled (:mod:`repro.instrument`), every iteration emits a
+``pcg.iteration`` span with ``pcg.spmv`` / ``pcg.precond`` / ``pcg.dot`` /
+``pcg.axpy`` children, and the iteration count accumulates in the
+``pcg.iterations`` counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
 from repro.errors import ConvergenceError
+from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.tracker import CommTracker
 
-__all__ = ["CGResult", "pcg", "cg"]
+__all__ = ["CGResult", "pcg", "cg", "resolve_precond"]
 
-Precond = Callable[[DistVector, CommTracker | None], DistVector]
+#: A bare preconditioner callable: ``z = M(r, tracker)``.
+PrecondFn = Callable[[DistVector, CommTracker | None], DistVector]
+
+#: Anything ``precond=`` accepts: an object with ``.apply``, or a callable.
+PrecondLike = Any
+
+
+def resolve_precond(precond: PrecondLike) -> PrecondFn | None:
+    """Normalise the ``precond=`` argument of the Krylov solvers.
+
+    Accepts (in order of precedence):
+
+    * ``None`` — no preconditioning;
+    * an object with an ``.apply(r, tracker)`` method, such as
+      :class:`repro.core.precond.Preconditioner` — the modern spelling
+      ``pcg(A, b, precond=M)``;
+    * a bare callable ``z = M(r, tracker)`` — the legacy spelling
+      ``pcg(A, b, precond=M.apply)``, still supported.
+    """
+    if precond is None:
+        return None
+    apply = getattr(precond, "apply", None)
+    if callable(apply):
+        return apply
+    if callable(precond):
+        return precond
+    raise TypeError(
+        "precond must be None, a Preconditioner-like object with .apply, "
+        f"or a callable; got {type(precond).__name__}"
+    )
 
 
 @dataclass
@@ -69,7 +109,7 @@ def pcg(
     mat: DistMatrix,
     b: DistVector,
     *,
-    precond: Precond | None = None,
+    precond: PrecondLike = None,
     rtol: float = 1e-8,
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
@@ -80,53 +120,71 @@ def pcg(
     Parameters
     ----------
     precond:
-        Callable applying the preconditioner, ``z = M·r`` (e.g.
-        :meth:`repro.core.precond.Preconditioner.apply`).  ``None`` runs
-        plain CG.
+        The preconditioner ``M``: an object with ``.apply(r, tracker)``
+        (e.g. :class:`repro.core.precond.Preconditioner`) or a bare callable
+        ``z = M(r, tracker)``.  ``None`` runs plain CG.
     tracker:
         Records halo-update and allreduce traffic of the entire solve.
     raise_on_fail:
         Raise :class:`ConvergenceError` instead of returning an unconverged
         result.
     """
-    x = DistVector.zeros(mat.partition)
-    r = b.copy()  # x0 = 0 so r0 = b
-    norm0 = r.norm2(tracker)
-    history = [norm0]
-    if norm0 == 0.0:
-        return CGResult(x, 0, True, history)
-    target = rtol * norm0
+    apply_m = resolve_precond(precond)
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("pcg.solve", ranks=mat.partition.nparts,
+                     preconditioned=apply_m is not None):
+        x = DistVector.zeros(mat.partition)
+        r = b.copy()  # x0 = 0 so r0 = b
+        norm0 = r.norm2(tracker)
+        history = [norm0]
+        if norm0 == 0.0:
+            return CGResult(x, 0, True, history)
+        target = rtol * norm0
 
-    z = precond(r, tracker) if precond is not None else r.copy()
-    d = z.copy()
-    rz = r.dot(z, tracker)
-    converged = False
-    iterations = 0
-    alphas: list[float] = []
-    betas: list[float] = []
-    for _ in range(max_iterations):
+        with tracer.span("pcg.precond"):
+            z = apply_m(r, tracker) if apply_m is not None else r.copy()
+        d = z.copy()
+        rz = r.dot(z, tracker)
+        converged = False
+        iterations = 0
+        alphas: list[float] = []
+        betas: list[float] = []
+        iter_counter = metrics.counter("pcg.iterations")
+        for _ in range(max_iterations):
+            if history[-1] <= target:
+                converged = True
+                break
+            with tracer.span("pcg.iteration", index=iterations) as it_span:
+                with tracer.span("pcg.spmv"):
+                    ad = mat.spmv(d, tracker)
+                with tracer.span("pcg.dot"):
+                    dad = d.dot(ad, tracker)
+                if dad <= 0 or not np.isfinite(dad):
+                    it_span.set_tag("aborted", "not SPD or breakdown")
+                    break  # matrix not SPD or breakdown
+                alpha = rz / dad
+                with tracer.span("pcg.axpy"):
+                    x.axpy(alpha, d)
+                    r.axpy(-alpha, ad)
+                with tracer.span("pcg.dot", kind="norm"):
+                    history.append(r.norm2(tracker))
+                with tracer.span("pcg.precond"):
+                    z = apply_m(r, tracker) if apply_m is not None else r.copy()
+                with tracer.span("pcg.dot"):
+                    rz_new = r.dot(z, tracker)
+                beta = rz_new / rz
+                rz = rz_new
+                d = _direction_update(z, beta, d)
+                alphas.append(alpha)
+                betas.append(beta)
+                iterations += 1
+                iter_counter.inc()
+
         if history[-1] <= target:
             converged = True
-            break
-        ad = mat.spmv(d, tracker)
-        dad = d.dot(ad, tracker)
-        if dad <= 0 or not np.isfinite(dad):
-            break  # matrix not SPD or breakdown
-        alpha = rz / dad
-        x.axpy(alpha, d)
-        r.axpy(-alpha, ad)
-        history.append(r.norm2(tracker))
-        z = precond(r, tracker) if precond is not None else r.copy()
-        rz_new = r.dot(z, tracker)
-        beta = rz_new / rz
-        rz = rz_new
-        d = _direction_update(z, beta, d)
-        alphas.append(alpha)
-        betas.append(beta)
-        iterations += 1
-
-    if history[-1] <= target:
-        converged = True
+        metrics.gauge("pcg.converged").set(converged)
+        metrics.gauge("pcg.final_residual").set(history[-1])
     if not converged and raise_on_fail:
         raise ConvergenceError(
             f"CG did not converge in {iterations} iterations "
@@ -142,6 +200,10 @@ def _direction_update(z: DistVector, beta: float, d: DistVector) -> DistVector:
     return d.xpay(z, beta)
 
 
-def cg(mat: DistMatrix, b: DistVector, **kwargs) -> CGResult:
-    """Unpreconditioned CG (convenience wrapper around :func:`pcg`)."""
-    return pcg(mat, b, precond=None, **kwargs)
+def cg(mat: DistMatrix, b: DistVector, precond: PrecondLike = None, **kwargs) -> CGResult:
+    """CG without a preconditioner by default (wrapper around :func:`pcg`).
+
+    ``precond`` is accepted for signature parity with :func:`pcg` — the same
+    object-with-``apply``/callable contract applies.
+    """
+    return pcg(mat, b, precond=precond, **kwargs)

@@ -11,10 +11,21 @@ This module wires the full pipelines of Algorithms 1–4:
 All three return a :class:`Preconditioner` holding the row-distributed ``G``
 and ``Gᵀ`` (the preconditioning step is two SpMVs) plus the bookkeeping the
 evaluation reports: %NNZ increase, per-rank filters, extension statistics.
+A :class:`Preconditioner` plugs directly into the solvers:
+``pcg(dA, b, precond=M)``.
+
+All three builders share one options surface, :class:`PrecondOptions`, and
+also accept its fields as direct keyword arguments::
+
+    build_fsaie_comm(A, part, line_bytes=256, filter=FilterSpec(0.05))
+
+Setup phases emit ``precond.*`` spans (pattern, extension, filtering,
+factor, distribute) when tracing is enabled — see :mod:`repro.instrument`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +45,7 @@ from repro.core.fsai import FSAIOptions, compute_g_values, fsai_pattern
 from repro.dist.matrix import DistMatrix
 from repro.dist.partition_map import RowPartition
 from repro.dist.vector import DistVector
+from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.tracker import CommTracker
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import SparsityPattern
@@ -48,30 +60,123 @@ __all__ = [
     "check_comm_invariance",
 ]
 
+#: Legacy flat keywords forwarded into the ``fsai`` sub-config.
+_LEGACY_FSAI_KEYS = ("threshold", "level", "post_filter")
+#: Legacy flat keywords forwarded into the ``filter`` sub-config
+#: (``filter_value`` was the historical spelling of ``FilterSpec.value``).
+_LEGACY_FILTER_KEYS = {
+    "filter_value": "value",
+    "dynamic": "dynamic",
+    "band": "band",
+    "max_bisection": "max_bisection",
+}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class PrecondOptions:
-    """Knobs of the preconditioner pipelines.
+    """Knobs of the preconditioner pipelines — the one options surface
+    shared by :func:`build_fsai`, :func:`build_fsaie` and
+    :func:`build_fsaie_comm`.
 
     Attributes
     ----------
     fsai:
-        Baseline FSAI options (pattern level, thresholds).
+        Baseline FSAI options (pattern level, thresholds); a
+        :class:`repro.core.fsai.FSAIOptions` sub-config.
     line_bytes:
         Cache line size driving the extension (64 B Skylake/Zen 2, 256 B
         A64FX).
     filter:
-        Extension filtering specification (value, static/dynamic).
+        Extension filtering specification (value, static/dynamic); a
+        :class:`repro.core.filtering.FilterSpec` sub-config.
+
+    Deprecated spellings (still accepted, with a :class:`DeprecationWarning`):
+    the flat FSAI keywords ``threshold`` / ``level`` / ``post_filter``
+    (forwarded into ``fsai``), the flat filter keywords ``filter_value`` /
+    ``dynamic`` / ``band`` / ``max_bisection`` (forwarded into ``filter``),
+    and a bare float for ``filter`` (coerced to ``FilterSpec(value)``).
     """
 
     fsai: FSAIOptions = FSAIOptions()
     line_bytes: int = 64
     filter: FilterSpec = FilterSpec()
 
+    def __init__(
+        self,
+        fsai: FSAIOptions | None = None,
+        line_bytes: int = 64,
+        filter: FilterSpec | float | None = None,
+        **legacy,
+    ):
+        fsai_kw: dict = {}
+        filter_kw: dict = {}
+        for key, val in legacy.items():
+            if key in _LEGACY_FSAI_KEYS:
+                fsai_kw[key] = val
+            elif key in _LEGACY_FILTER_KEYS:
+                filter_kw[_LEGACY_FILTER_KEYS[key]] = val
+            else:
+                raise TypeError(
+                    f"PrecondOptions got an unexpected keyword argument {key!r}"
+                )
+        if fsai_kw:
+            warnings.warn(
+                f"flat FSAI keywords {sorted(fsai_kw)} are deprecated; pass "
+                "fsai=FSAIOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if fsai is not None:
+                raise ValueError(
+                    "pass FSAI settings either via fsai= or the flat legacy "
+                    "keywords, not both"
+                )
+            fsai = FSAIOptions(**fsai_kw)
+        if filter_kw:
+            warnings.warn(
+                f"flat filter keywords {sorted(filter_kw)} are deprecated; "
+                "pass filter=FilterSpec(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if isinstance(filter, (int, float)) and not isinstance(filter, bool):
+            warnings.warn(
+                "filter=<number> is deprecated; pass filter=FilterSpec(value)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            filter = FilterSpec(float(filter), **filter_kw)
+        elif filter is None:
+            filter = FilterSpec(**filter_kw)
+        elif filter_kw:
+            raise ValueError(
+                "pass filter settings either via filter= or the flat legacy "
+                "keywords, not both"
+            )
+        object.__setattr__(self, "fsai", fsai if fsai is not None else FSAIOptions())
+        object.__setattr__(self, "line_bytes", int(line_bytes))
+        object.__setattr__(self, "filter", filter)
+
+
+def _coerce_options(options: PrecondOptions | None, overrides: dict) -> PrecondOptions:
+    """Resolve the ``(options, **overrides)`` surface of the builders."""
+    if options is None:
+        return PrecondOptions(**overrides)
+    if overrides:
+        raise TypeError(
+            "pass either a PrecondOptions object or keyword overrides, not both: "
+            f"{sorted(overrides)}"
+        )
+    return options
+
 
 @dataclass
 class Preconditioner:
-    """A factorized approximate inverse ready to apply inside CG."""
+    """A factorized approximate inverse ready to apply inside CG.
+
+    Pass it directly to the solvers — ``pcg(dA, b, precond=M)`` — or call
+    :meth:`apply` yourself.
+    """
 
     name: str
     g: DistMatrix
@@ -113,30 +218,52 @@ class Preconditioner:
 def build_fsai(
     mat: CSRMatrix,
     partition: RowPartition,
-    options: PrecondOptions = PrecondOptions(),
+    options: PrecondOptions | None = None,
+    **overrides,
 ) -> Preconditioner:
-    """Baseline FSAI preconditioner (Alg. 1), distributed by rows."""
-    pattern = fsai_pattern(mat, options.fsai)
-    g = compute_g_values(mat, pattern)
-    return _distribute("FSAI", g, partition, base_nnz=pattern.nnz,
-                       filters=np.zeros(partition.nparts))
+    """Baseline FSAI preconditioner (Alg. 1), distributed by rows.
+
+    ``options`` may be a :class:`PrecondOptions`; alternatively pass its
+    fields as keyword arguments (``build_fsai(A, part, fsai=FSAIOptions(level=2))``).
+    """
+    options = _coerce_options(options, overrides)
+    tracer = get_tracer()
+    with tracer.span("precond.build", method="FSAI"):
+        with tracer.span("precond.pattern"):
+            pattern = fsai_pattern(mat, options.fsai)
+        with tracer.span("precond.factor"):
+            g = compute_g_values(mat, pattern)
+        pre = _distribute("FSAI", g, partition, base_nnz=pattern.nnz,
+                          filters=np.zeros(partition.nparts))
+    _record_build_metrics(pre)
+    return pre
 
 
 def build_fsaie(
     mat: CSRMatrix,
     partition: RowPartition,
-    options: PrecondOptions = PrecondOptions(),
+    options: PrecondOptions | None = None,
+    **overrides,
 ) -> Preconditioner:
-    """FSAIE: cache-friendly extension of local entries only (Alg. 2)."""
+    """FSAIE: cache-friendly extension of local entries only (Alg. 2).
+
+    Shares the :class:`PrecondOptions` surface of :func:`build_fsai`.
+    """
+    options = _coerce_options(options, overrides)
     return _build_extended("FSAIE", mat, partition, options, ExtensionMode.LOCAL)
 
 
 def build_fsaie_comm(
     mat: CSRMatrix,
     partition: RowPartition,
-    options: PrecondOptions = PrecondOptions(),
+    options: PrecondOptions | None = None,
+    **overrides,
 ) -> Preconditioner:
-    """FSAIE-Comm: communication-aware local + halo extension (Alg. 3)."""
+    """FSAIE-Comm: communication-aware local + halo extension (Alg. 3).
+
+    Shares the :class:`PrecondOptions` surface of :func:`build_fsai`.
+    """
+    options = _coerce_options(options, overrides)
     return _build_extended("FSAIE-Comm", mat, partition, options, ExtensionMode.COMM)
 
 
@@ -165,57 +292,72 @@ class ExtensionWorkspace:
         self.partition = partition
         self.mode = mode
         self.line_bytes = line_bytes
-        self.base = fsai_pattern(mat, fsai)
+        tracer = get_tracer()
+        with tracer.span("precond.workspace", method=name, mode=mode.name):
+            with tracer.span("precond.pattern"):
+                self.base = fsai_pattern(mat, fsai)
 
-        # distribute the *pattern* to obtain the local x-vector layout whose
-        # cache lines the extension exploits (values are irrelevant here)
-        dist_pattern = DistMatrix.from_global(self.base.to_csr(), partition)
-        self.extensions = extend_dist_pattern(dist_pattern, line_bytes, mode)
-        ext_rows = (
-            np.concatenate([e.rows for e in self.extensions])
-            if self.extensions
-            else np.empty(0, np.int64)
-        )
-        ext_cols = (
-            np.concatenate([e.cols for e in self.extensions])
-            if self.extensions
-            else np.empty(0, np.int64)
-        )
-        self.ext_nnz_unfiltered = int(ext_rows.size)
-        s_ext = _union_with_entries(self.base, ext_rows, ext_cols)
+            # distribute the *pattern* to obtain the local x-vector layout
+            # whose cache lines the extension exploits (values are irrelevant
+            # here)
+            with tracer.span("precond.extension", line_bytes=line_bytes):
+                dist_pattern = DistMatrix.from_global(self.base.to_csr(), partition)
+                self.extensions = extend_dist_pattern(dist_pattern, line_bytes, mode)
+                ext_rows = (
+                    np.concatenate([e.rows for e in self.extensions])
+                    if self.extensions
+                    else np.empty(0, np.int64)
+                )
+                ext_cols = (
+                    np.concatenate([e.cols for e in self.extensions])
+                    if self.extensions
+                    else np.empty(0, np.int64)
+                )
+                self.ext_nnz_unfiltered = int(ext_rows.size)
+                s_ext = _union_with_entries(self.base, ext_rows, ext_cols)
 
-        # Alg. 2 step 4: precalculate G on the full extended pattern
-        self.g_pre = compute_g_values(mat, s_ext)
-        self.ratios = entry_ratios(self.g_pre)
-        self.ext_mask = extension_entry_mask(self.g_pre, self.base)
-        self.entry_owner = partition.owner[
-            np.repeat(np.arange(self.g_pre.nrows, dtype=np.int64), self.g_pre.row_nnz())
-        ]
-        self.base_counts = np.array(
-            [
-                int(np.count_nonzero(~self.ext_mask & (self.entry_owner == p)))
+            # Alg. 2 step 4: precalculate G on the full extended pattern
+            with tracer.span("precond.factor", stage="precalculate"):
+                self.g_pre = compute_g_values(mat, s_ext)
+            self.ratios = entry_ratios(self.g_pre)
+            self.ext_mask = extension_entry_mask(self.g_pre, self.base)
+            self.entry_owner = partition.owner[
+                np.repeat(np.arange(self.g_pre.nrows, dtype=np.int64), self.g_pre.row_nnz())
+            ]
+            self.base_counts = np.array(
+                [
+                    int(np.count_nonzero(~self.ext_mask & (self.entry_owner == p)))
+                    for p in range(partition.nparts)
+                ],
+                dtype=np.int64,
+            )
+            self.ext_ratios_per_rank = [
+                self.ratios[self.ext_mask & (self.entry_owner == p)]
                 for p in range(partition.nparts)
-            ],
-            dtype=np.int64,
-        )
-        self.ext_ratios_per_rank = [
-            self.ratios[self.ext_mask & (self.entry_owner == p)]
-            for p in range(partition.nparts)
-        ]
+            ]
 
     def finalize(self, filter_spec: FilterSpec) -> Preconditioner:
         """Filter extension entries and recompute ``G`` (Alg. 2 step 5)."""
-        filters = compute_dynamic_filters(
-            self.base_counts, self.ext_ratios_per_rank, filter_spec
-        )
-        drop = self.ext_mask & (self.ratios <= filters[self.entry_owner])
-        filtered = self.g_pre.drop_entries(drop)
-        g_final = compute_g_values(self.mat, SparsityPattern.from_csr(filtered))
-        pre = _distribute(
-            self.name, g_final, self.partition, base_nnz=self.base.nnz, filters=filters
-        )
-        pre.extensions = self.extensions
-        pre.ext_nnz_unfiltered = self.ext_nnz_unfiltered
+        tracer = get_tracer()
+        with tracer.span("precond.build", method=self.name):
+            with tracer.span("precond.filtering", dynamic=filter_spec.dynamic,
+                             value=filter_spec.value):
+                filters = compute_dynamic_filters(
+                    self.base_counts, self.ext_ratios_per_rank, filter_spec
+                )
+                drop = self.ext_mask & (self.ratios <= filters[self.entry_owner])
+                filtered = self.g_pre.drop_entries(drop)
+            with tracer.span("precond.factor", stage="recompute"):
+                g_final = compute_g_values(
+                    self.mat, SparsityPattern.from_csr(filtered)
+                )
+            pre = _distribute(
+                self.name, g_final, self.partition, base_nnz=self.base.nnz,
+                filters=filters,
+            )
+            pre.extensions = self.extensions
+            pre.ext_nnz_unfiltered = self.ext_nnz_unfiltered
+        _record_build_metrics(pre)
         return pre
 
 
@@ -230,6 +372,19 @@ def _build_extended(
         name, mat, partition, mode, line_bytes=options.line_bytes, fsai=options.fsai
     )
     return workspace.finalize(options.filter)
+
+
+def _record_build_metrics(pre: Preconditioner) -> None:
+    """Publish the build outcome the evaluation tables report."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    metrics.gauge("precond.nnz", method=pre.name).set(pre.nnz)
+    metrics.gauge("precond.nnz_increase_percent", method=pre.name).set(
+        pre.nnz_increase_percent
+    )
+    for rank, nnz in enumerate(pre.nnz_per_rank()):
+        metrics.gauge("precond.nnz_rank", method=pre.name, rank=rank).set(int(nnz))
 
 
 def _union_with_entries(
@@ -250,16 +405,17 @@ def _distribute(
     base_nnz: int,
     filters: np.ndarray,
 ) -> Preconditioner:
-    dist_g = DistMatrix.from_global(g, partition)
-    dist_gt = DistMatrix.from_global(g.transpose(), partition)
-    return Preconditioner(
-        name=name,
-        g=dist_g,
-        gt=dist_gt,
-        base_nnz=base_nnz,
-        nnz=g.nnz,
-        filters=np.asarray(filters, dtype=np.float64),
-    )
+    with get_tracer().span("precond.distribute"):
+        dist_g = DistMatrix.from_global(g, partition)
+        dist_gt = DistMatrix.from_global(g.transpose(), partition)
+        return Preconditioner(
+            name=name,
+            g=dist_g,
+            gt=dist_gt,
+            base_nnz=base_nnz,
+            nnz=g.nnz,
+            filters=np.asarray(filters, dtype=np.float64),
+        )
 
 
 def check_comm_invariance(base: Preconditioner, extended: Preconditioner) -> bool:

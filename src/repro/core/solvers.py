@@ -9,26 +9,23 @@ used by tests as a convergence sanity check.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
-from repro.core.cg import CGResult
+from repro.core.cg import CGResult, PrecondLike, resolve_precond
 from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
 from repro.errors import ConvergenceError
+from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.tracker import CommTracker
 
 __all__ = ["bicgstab", "steepest_descent", "pipelined_pcg"]
-
-Precond = Callable[[DistVector, CommTracker | None], DistVector]
 
 
 def bicgstab(
     mat: DistMatrix,
     b: DistVector,
     *,
-    precond: Precond | None = None,
+    precond: PrecondLike = None,
     rtol: float = 1e-8,
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
@@ -38,12 +35,14 @@ def bicgstab(
 
     Solves ``A x = b`` for general (square, nonsingular) ``A``; with
     ``precond`` it iterates on ``A M y = b``, ``x = M y``, so a
-    nonsymmetric SPAI ``M`` is admissible.  Returns the same result type as
-    :func:`repro.core.cg.pcg`.
+    nonsymmetric SPAI ``M`` is admissible.  ``precond`` accepts a
+    preconditioner object (anything with ``.apply``) or a bare callable, like
+    :func:`repro.core.cg.pcg`, and the same result type is returned.
     """
+    precond_fn = resolve_precond(precond)
 
     def apply_m(v: DistVector) -> DistVector:
-        return precond(v, tracker) if precond is not None else v.copy()
+        return precond_fn(v, tracker) if precond_fn is not None else v.copy()
 
     x = DistVector.zeros(mat.partition)
     r = b.copy()
@@ -59,47 +58,52 @@ def bicgstab(
     p = DistVector.zeros(mat.partition)
     converged = False
     iterations = 0
+    tracer = get_tracer()
+    iter_counter = get_metrics().counter("bicgstab.iterations")
     for _ in range(max_iterations):
         if history[-1] <= target:
             converged = True
             break
-        rho_new = r_hat.dot(r, tracker)
-        if rho_new == 0.0 or not np.isfinite(rho_new):
-            break  # breakdown
-        if iterations == 0:
-            p = r.copy()
-        else:
-            beta = (rho_new / rho) * (alpha / omega)
-            # p = r + beta (p − ω v)
-            p.axpy(-omega, v)
-            p.xpay(r, beta)
-        rho = rho_new
-        y = apply_m(p)
-        v = mat.spmv(y, tracker)
-        denom = r_hat.dot(v, tracker)
-        if denom == 0.0 or not np.isfinite(denom):
-            break
-        alpha = rho / denom
-        s = r.copy().axpy(-alpha, v)
-        if s.norm2(tracker) <= target:
+        with tracer.span("bicgstab.iteration", index=iterations):
+            rho_new = r_hat.dot(r, tracker)
+            if rho_new == 0.0 or not np.isfinite(rho_new):
+                break  # breakdown
+            if iterations == 0:
+                p = r.copy()
+            else:
+                beta = (rho_new / rho) * (alpha / omega)
+                # p = r + beta (p − ω v)
+                p.axpy(-omega, v)
+                p.xpay(r, beta)
+            rho = rho_new
+            y = apply_m(p)
+            v = mat.spmv(y, tracker)
+            denom = r_hat.dot(v, tracker)
+            if denom == 0.0 or not np.isfinite(denom):
+                break
+            alpha = rho / denom
+            s = r.copy().axpy(-alpha, v)
+            if s.norm2(tracker) <= target:
+                x.axpy(alpha, y)
+                history.append(s.norm2(tracker))
+                iterations += 1
+                iter_counter.inc()
+                converged = True
+                break
+            z = apply_m(s)
+            t = mat.spmv(z, tracker)
+            tt = t.dot(t, tracker)
+            if tt == 0.0:
+                break
+            omega = t.dot(s, tracker) / tt
             x.axpy(alpha, y)
-            history.append(s.norm2(tracker))
+            x.axpy(omega, z)
+            r = s.copy().axpy(-omega, t)
+            history.append(r.norm2(tracker))
             iterations += 1
-            converged = True
-            break
-        z = apply_m(s)
-        t = mat.spmv(z, tracker)
-        tt = t.dot(t, tracker)
-        if tt == 0.0:
-            break
-        omega = t.dot(s, tracker) / tt
-        x.axpy(alpha, y)
-        x.axpy(omega, z)
-        r = s.copy().axpy(-omega, t)
-        history.append(r.norm2(tracker))
-        iterations += 1
-        if omega == 0.0:
-            break
+            iter_counter.inc()
+            if omega == 0.0:
+                break
 
     if history[-1] <= target:
         converged = True
@@ -157,7 +161,7 @@ def pipelined_pcg(
     mat: DistMatrix,
     b: DistVector,
     *,
-    precond: Precond | None = None,
+    precond: PrecondLike = None,
     rtol: float = 1e-8,
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
@@ -171,10 +175,14 @@ def pipelined_pcg(
     communication-hiding reformulation for the latency-dominated regime the
     paper's large-scale runs live in.  The price is one extra SpMV-sized
     recurrence per iteration and slightly weaker numerical stability.
+
+    ``precond`` accepts a preconditioner object (anything with ``.apply``)
+    or a bare callable, like :func:`repro.core.cg.pcg`.
     """
+    precond_fn = resolve_precond(precond)
 
     def apply_m(v: DistVector) -> DistVector:
-        return precond(v, tracker) if precond is not None else v.copy()
+        return precond_fn(v, tracker) if precond_fn is not None else v.copy()
 
     def fused_dots(*pairs: tuple[DistVector, DistVector]) -> list[float]:
         """Several global dots in ONE allreduce — the pipelining payoff."""
@@ -208,31 +216,40 @@ def pipelined_pcg(
     alpha = gamma / delta if delta != 0 else 0.0
     converged = False
     iterations = 0
+    tracer = get_tracer()
+    iter_counter = get_metrics().counter("pipelined_pcg.iterations")
     for _ in range(max_iterations):
         if history[-1] <= target or delta == 0 or not np.isfinite(alpha):
             break
-        x.axpy(alpha, p)
-        r.axpy(-alpha, s)
-        u.axpy(-alpha, q)
-        w.axpy(-alpha, z)
-        # one fused reduction per iteration: ||r||^2, (r,u) and (w,u)
-        rr, gamma_new, delta = fused_dots((r, r), (r, u), (w, u))
-        history.append(float(np.sqrt(max(rr, 0.0))))
-        iterations += 1
-        if history[-1] <= target:
-            converged = True
-            break
-        m_w = apply_m(w)
-        n_vec = mat.spmv(m_w, tracker)
-        beta = gamma_new / gamma if gamma != 0 else 0.0
-        gamma = gamma_new
-        denom = delta - beta * gamma / alpha if alpha != 0 else delta
-        alpha = gamma / denom if denom != 0 else 0.0
-        # pipelined recurrences replace the d-vector update of standard CG
-        z = n_vec.copy().axpy(beta, z)
-        q = m_w.copy().axpy(beta, q)
-        p = u.copy().axpy(beta, p)
-        s = w.copy().axpy(beta, s)
+        with tracer.span("pipelined_pcg.iteration", index=iterations):
+            with tracer.span("pcg.axpy"):
+                x.axpy(alpha, p)
+                r.axpy(-alpha, s)
+                u.axpy(-alpha, q)
+                w.axpy(-alpha, z)
+            # one fused reduction per iteration: ||r||^2, (r,u) and (w,u)
+            with tracer.span("pcg.dot", fused=3):
+                rr, gamma_new, delta = fused_dots((r, r), (r, u), (w, u))
+            history.append(float(np.sqrt(max(rr, 0.0))))
+            iterations += 1
+            iter_counter.inc()
+            if history[-1] <= target:
+                converged = True
+                break
+            with tracer.span("pcg.precond"):
+                m_w = apply_m(w)
+            with tracer.span("pcg.spmv"):
+                n_vec = mat.spmv(m_w, tracker)
+            beta = gamma_new / gamma if gamma != 0 else 0.0
+            gamma = gamma_new
+            denom = delta - beta * gamma / alpha if alpha != 0 else delta
+            alpha = gamma / denom if denom != 0 else 0.0
+            # pipelined recurrences replace the d-vector update of standard CG
+            with tracer.span("pcg.axpy"):
+                z = n_vec.copy().axpy(beta, z)
+                q = m_w.copy().axpy(beta, q)
+                p = u.copy().axpy(beta, p)
+                s = w.copy().axpy(beta, s)
 
     if history[-1] <= target:
         converged = True

@@ -28,6 +28,7 @@ from repro.core.filtering import FilterSpec, dynamic_filter_for_rank
 from repro.core.fsai import fsai_pattern
 from repro.core.precond import Preconditioner, _distribute
 from repro.dist.matrix import DistMatrix
+from repro.instrument import get_tracer
 from repro.dist.partition_map import RowPartition
 from repro.mpisim import SUM, Comm, CommTracker, run_spmd
 from repro.sparse.csr import CSRMatrix
@@ -136,12 +137,14 @@ def spmd_build_fsaie_comm(
 
     def _rank_program(comm: Comm):
         p = comm.rank
+        tracer = get_tracer()
         lm_pattern = dist_pattern.locals[p]
         lm_a = dist_a.locals[p]
         my_rows = partition.global_ids[p]
 
         # Alg. 3: local cache-friendly communication-aware extension
-        ext = extend_rank_pattern(lm_pattern, owner, line_bytes, ExtensionMode.COMM)
+        with tracer.span("spmd.extension", rank=p):
+            ext = extend_rank_pattern(lm_pattern, owner, line_bytes, ExtensionMode.COMM)
 
         # per-row extended patterns in global column ids
         pattern_rows: dict[int, np.ndarray] = {}
@@ -156,12 +159,14 @@ def spmd_build_fsaie_comm(
         # gather every A row the local systems reference
         footprint = np.unique(np.concatenate(list(pattern_rows.values())))
         foreign = footprint[owner[footprint] != p]
-        row_table = _gather_foreign_rows(
-            comm, partition, _localize_a(lm_a), my_rows, foreign
-        )
+        with tracer.span("spmd.gather_rows", rank=p, foreign=int(foreign.size)):
+            row_table = _gather_foreign_rows(
+                comm, partition, _localize_a(lm_a), my_rows, foreign
+            )
 
         # Alg. 2 step 4: precalculate the factor on the extended pattern
-        g_rows = _solve_rows(row_table, pattern_rows)
+        with tracer.span("spmd.factor", rank=p, stage="precalculate"):
+            g_rows = _solve_rows(row_table, pattern_rows)
 
         # the scale-independent filter compares against sqrt(g_ii * g_jj);
         # diagonal values of off-rank rows travel over the same channels
@@ -180,19 +185,20 @@ def spmd_build_fsaie_comm(
                     ratios.append(abs(v) / scale if scale > 0 else 0.0)
         ratios = np.asarray(ratios)
         my_count = base_count + int(np.count_nonzero(ratios > filter_spec.value))
-        total = comm.allreduce(my_count, SUM)
-        average = total / comm.size
-        if filter_spec.dynamic:
-            my_filter = dynamic_filter_for_rank(
-                base_count,
-                ratios,
-                filter_spec.value,
-                average,
-                band=filter_spec.band,
-                max_bisection=filter_spec.max_bisection,
-            )
-        else:
-            my_filter = filter_spec.value
+        with tracer.span("spmd.filtering", rank=p, dynamic=filter_spec.dynamic):
+            total = comm.allreduce(my_count, SUM)
+            average = total / comm.size
+            if filter_spec.dynamic:
+                my_filter = dynamic_filter_for_rank(
+                    base_count,
+                    ratios,
+                    filter_spec.value,
+                    average,
+                    band=filter_spec.band,
+                    max_bisection=filter_spec.max_bisection,
+                )
+            else:
+                my_filter = filter_spec.value
 
         # Alg. 2 step 5: filter and recompute the owned rows
         filtered_rows: dict[int, np.ndarray] = {}
@@ -208,7 +214,8 @@ def spmd_build_fsaie_comm(
                     if scale > 0 and abs(v) / scale > my_filter:
                         keep.append(int(c))
             filtered_rows[g] = np.asarray(sorted(keep), dtype=np.int64)
-        final_rows = _solve_rows(row_table, filtered_rows)
+        with tracer.span("spmd.factor", rank=p, stage="recompute"):
+            final_rows = _solve_rows(row_table, filtered_rows)
         return my_filter, filtered_rows, final_rows
 
     results = run_spmd(_rank_program, partition.nparts, tracker=tracker, timeout=timeout)

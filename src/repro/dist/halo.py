@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.dist.partition_map import RowPartition
 from repro.errors import PartitionError
+from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.tracker import CommTracker
 
 __all__ = ["HaloSchedule"]
@@ -136,7 +137,15 @@ class HaloSchedule:
 
         ``x_parts[p]`` holds rank ``p``'s local values in local order.  Each
         exchanged message is recorded in ``tracker`` (8 bytes per value).
+
+        With tracing enabled, the update emits a ``halo.update`` span with
+        one ``halo.exchange`` child per receiving rank (tagged ``rank`` and
+        ``bytes``, matching the tracker's accounting exactly) wrapping
+        ``halo.pack`` / ``halo.unpack`` children per message.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            return self._update_traced(x_parts, tracker, tracer)
         part = self.partition
         halos = [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(part.nparts)]
         for p in range(part.nparts):
@@ -147,6 +156,34 @@ class HaloSchedule:
                 halos[p][self.recv_pos[p][q]] = values
                 if tracker is not None:
                     tracker.record_p2p(q, p, 8 * ids.size)
+        return halos
+
+    def _update_traced(
+        self, x_parts: list[np.ndarray], tracker: CommTracker | None, tracer
+    ) -> list[np.ndarray]:
+        """The :meth:`update` loop with per-rank spans and byte accounting."""
+        part = self.partition
+        metrics = get_metrics()
+        halos = [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(part.nparts)]
+        total_bytes = 0
+        with tracer.span("halo.update", ranks=part.nparts):
+            for p in range(part.nparts):
+                rank_bytes = 8 * sum(int(ids.size) for ids in self.recv_from[p].values())
+                total_bytes += rank_bytes
+                with tracer.span("halo.exchange", rank=p, bytes=rank_bytes,
+                                 neighbours=len(self.recv_from[p])):
+                    for q, ids in self.recv_from[p].items():
+                        if ids.size == 0:
+                            continue
+                        nbytes = 8 * int(ids.size)
+                        with tracer.span("halo.pack", src=q, dst=p, bytes=nbytes):
+                            values = x_parts[q][part.local_index[ids]]
+                        with tracer.span("halo.unpack", src=q, dst=p, bytes=nbytes):
+                            halos[p][self.recv_pos[p][q]] = values
+                        if tracker is not None:
+                            tracker.record_p2p(q, p, nbytes)
+        metrics.counter("halo.updates").inc()
+        metrics.counter("halo.bytes").inc(total_bytes)
         return halos
 
     # ------------------------------------------------------------------

@@ -1,0 +1,179 @@
+"""Trace exporters: plain JSON and Chrome ``trace_event`` format.
+
+Two output formats cover the two consumers:
+
+* :func:`write_json_trace` / :func:`read_json_trace` — a self-describing
+  JSON document (spans with tree structure plus a metrics snapshot) for
+  programmatic analysis; round-trips losslessly.
+* :func:`write_chrome_trace` — the ``trace_event`` JSON object format
+  consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+  spans become complete (``"ph": "X"``) events on per-thread tracks,
+  instant events become ``"ph": "i"``, and the metrics snapshot rides in
+  ``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.instrument.tracer import Span, Tracer
+
+__all__ = [
+    "spans_to_dicts",
+    "trace_to_dict",
+    "write_json_trace",
+    "read_json_trace",
+    "spans_from_dicts",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Format version stamped into exported documents.
+TRACE_FORMAT_VERSION = 1
+
+
+def spans_to_dicts(spans) -> list[dict]:
+    """Serialise spans (sorted by start) to plain dictionaries."""
+    return [s.to_dict() for s in sorted(spans, key=lambda s: (s.start, s.span_id))]
+
+
+def trace_to_dict(tracer: Tracer, metrics=None) -> dict:
+    """The JSON-document form of a tracer (and optional metrics registry)."""
+    return {
+        "format": "repro-trace",
+        "version": TRACE_FORMAT_VERSION,
+        "spans": spans_to_dicts(tracer.spans),
+        "metrics": metrics.collect() if metrics is not None else [],
+    }
+
+
+def write_json_trace(path, tracer: Tracer, metrics=None, *, indent: int | None = None) -> Path:
+    """Write the JSON trace document; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(tracer, metrics), indent=indent) + "\n")
+    return path
+
+
+def read_json_trace(path) -> dict:
+    """Load a document written by :func:`write_json_trace` (round-trip)."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace document")
+    return doc
+
+
+def spans_from_dicts(dicts: list[dict]) -> list[Span]:
+    """Rebuild :class:`Span` objects from their dictionary form."""
+    out = []
+    for d in dicts:
+        span = Span(
+            d["name"], dict(d["tags"]), d["start"], d["span_id"], d["parent_id"],
+            d["thread"],
+        )
+        span.end = d["end"]
+        out.append(span)
+    return out
+
+
+# ----------------------------------------------------------------------
+def _json_safe(value):
+    """Coerce tag values to JSON-representable types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        import numpy as np
+
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return repr(value)
+
+
+def _safe_tags(tags: dict) -> dict:
+    return {k: _json_safe(v) for k, v in tags.items()}
+
+
+def to_chrome_trace(tracer: Tracer, metrics=None, *, process_name: str = "repro") -> dict:
+    """Render the tracer's spans as a Chrome ``trace_event`` document.
+
+    Spans become ``"ph": "X"`` complete events with microsecond timestamps
+    relative to the earliest span; zero-duration spans become thread-scoped
+    instant events.  Spans tagged with ``rank`` keep their thread track but
+    expose the rank in ``args`` so Perfetto queries can group by it.
+    """
+    spans = tracer.spans
+    t0 = min((s.start for s in spans), default=0.0)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    threads = sorted({s.thread for s in spans})
+    for t in threads:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": t,
+                "name": "thread_name",
+                "args": {"name": "driver" if t == 0 else f"thread-{t}"},
+            }
+        )
+    for s in spans:
+        ts = (s.start - t0) * 1e6
+        args = _safe_tags(s.tags)
+        cat = s.name.split(".", 1)[0]
+        if s.end is not None and s.end > s.start:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": (s.end - s.start) * 1e6,
+                    "pid": 0,
+                    "tid": s.thread,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": cat,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": s.thread,
+                    "args": args,
+                }
+            )
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro-trace-chrome",
+            "version": TRACE_FORMAT_VERSION,
+        },
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = [
+            {**m, "tags": _safe_tags(m["tags"])} for m in metrics.collect()
+        ]
+    return doc
+
+
+def write_chrome_trace(path, tracer: Tracer, metrics=None, *, indent: int | None = None) -> Path:
+    """Write a ``chrome://tracing``-loadable trace file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer, metrics), indent=indent) + "\n")
+    return path

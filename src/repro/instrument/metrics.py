@@ -1,0 +1,288 @@
+"""Counters, gauges and histograms with per-rank tags.
+
+The paper's evaluation reports quantities that are *not* time intervals:
+CG iteration counts, per-rank stored entries (load balance), halo traffic
+bytes, cache hits/misses.  A :class:`MetricsRegistry` holds one instrument
+per ``(kind, name, tags)`` combination so benchmarks read those numbers
+from a shared store instead of re-deriving them:
+
+* :class:`Counter` — monotonically increasing total (``inc``),
+* :class:`Gauge` — last-value-wins sample (``set``),
+* :class:`Histogram` — full distribution (``observe``) with count/sum/
+  min/max/percentile queries.
+
+Like the tracer, a :class:`NullMetricsRegistry` stands in when
+instrumentation is disabled; its instruments swallow every update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "tags", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, tags: dict):
+        self.name = name
+        self.tags = tags
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": "counter", "name": self.name, "tags": dict(self.tags),
+                "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}, {self.tags}, value={self.value})"
+
+
+class Gauge:
+    """A sampled value; the last ``set`` wins."""
+
+    __slots__ = ("name", "tags", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, tags: dict):
+        self.name = name
+        self.tags = tags
+        self.value: float | None = None
+
+    def set(self, value) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"kind": "gauge", "name": self.name, "tags": dict(self.tags),
+                "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}, {self.tags}, value={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values."""
+
+    __slots__ = ("name", "tags", "values")
+    kind = "histogram"
+
+    def __init__(self, name: str, tags: dict):
+        self.name = name
+        self.tags = tags
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        """Average observation (NaN when empty)."""
+        return self.total / self.count if self.values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100, nearest-rank; NaN when empty)."""
+        if not self.values:
+            return float("nan")
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "tags": dict(self.tags),
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.values) if self.values else None,
+            "max": max(self.values) if self.values else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, {self.tags}, count={self.count})"
+
+
+def _key(kind: str, name: str, tags: dict) -> tuple:
+    return (kind, name, tuple(sorted(tags.items())))
+
+
+class MetricsRegistry:
+    """Thread-safe store of instruments keyed by name and tags.
+
+    ``registry.counter("halo.bytes", rank=3)`` returns the same
+    :class:`Counter` on every call with identical tags (get-or-create), so
+    call sites never hold instrument references across phases.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+
+    def _get(self, cls, name: str, tags: dict):
+        key = _key(cls.kind, name, tags)
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, tags)
+                self._instruments[key] = inst
+            return inst
+
+    def counter(self, name: str, **tags) -> Counter:
+        """Get or create the counter with this name and tags."""
+        return self._get(Counter, name, tags)
+
+    def gauge(self, name: str, **tags) -> Gauge:
+        """Get or create the gauge with this name and tags."""
+        return self._get(Gauge, name, tags)
+
+    def histogram(self, name: str, **tags) -> Histogram:
+        """Get or create the histogram with this name and tags."""
+        return self._get(Histogram, name, tags)
+
+    # querying ----------------------------------------------------------
+    def instruments(self) -> list:
+        """Every registered instrument (stable creation order not guaranteed)."""
+        with self._lock:
+            return list(self._instruments.values())
+
+    def find(self, name: str, **tags) -> list:
+        """Instruments matching ``name`` whose tags include ``tags``."""
+        out = []
+        for inst in self.instruments():
+            if inst.name != name:
+                continue
+            if all(inst.tags.get(k) == v for k, v in tags.items()):
+                out.append(inst)
+        return out
+
+    def value(self, name: str, **tags):
+        """Value of the single counter/gauge matching exactly; None if absent."""
+        matches = [i for i in self.find(name, **tags) if i.tags == tags]
+        if not matches:
+            return None
+        return matches[0].value if not isinstance(matches[0], Histogram) else matches[0].values
+
+    def sum_values(self, name: str, **tags) -> float:
+        """Sum of counter/gauge values across all tag combinations of ``name``."""
+        total = 0.0
+        for inst in self.find(name, **tags):
+            if isinstance(inst, Histogram):
+                total += inst.total
+            elif inst.value is not None:
+                total += inst.value
+        return total
+
+    def collect(self) -> list[dict]:
+        """Serialisable snapshot of every instrument."""
+        return [inst.to_dict() for inst in self.instruments()]
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self)})"
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    tags: dict = {}
+    value = None
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: instruments swallow every update."""
+
+    enabled = False
+
+    def counter(self, name: str, **tags) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **tags) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **tags) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> list:
+        return []
+
+    def find(self, name: str, **tags) -> list:
+        return []
+
+    def value(self, name: str, **tags):
+        return None
+
+    def sum_values(self, name: str, **tags) -> float:
+        return 0.0
+
+    def collect(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullMetricsRegistry()"
+
+
+#: Process-wide disabled registry (the default active registry).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,290 @@
+"""Nested, labeled span tracing for the solver and setup hot paths.
+
+A :class:`Tracer` records *spans* — named intervals with tags — organised as
+a tree per thread: entering ``tracer.span("pcg.iteration", rank=2)`` pushes
+onto a thread-local stack, so spans opened inside it become its children.
+This is the substrate the benchmarks and the ``repro trace`` CLI build on:
+the paper's measurements (SpMV vs halo exchange vs dot-product collectives,
+setup-phase breakdowns) all become queryable span durations instead of
+ad-hoc stopwatches.
+
+When tracing is disabled (the default) every hot path goes through
+:class:`NullTracer`, whose ``span`` returns a shared no-op context manager —
+no allocation, no clock reads, no locking — so instrumented code pays only a
+function call when not observed.
+
+Spans run on SPMD threads (:mod:`repro.mpisim`) as well as the driver
+thread; the tracer is thread-safe and keeps one span stack per thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One completed (or active) traced interval.
+
+    Attributes
+    ----------
+    name:
+        Dotted label, e.g. ``"pcg.iteration"`` or ``"halo.exchange"``.
+    tags:
+        Key/value labels (``rank``, ``bytes``...) attached at creation or via
+        :meth:`set_tag` while the span is active.
+    start, end:
+        Clock readings (seconds, from the tracer's clock).  ``end`` is None
+        while the span is active; instant events have ``end == start``.
+    span_id, parent_id:
+        Tree structure: ``parent_id`` is None for root spans.
+    thread:
+        Dense per-tracer thread index (0 = first thread seen).
+    """
+
+    __slots__ = ("name", "tags", "start", "end", "span_id", "parent_id", "thread")
+
+    def __init__(
+        self,
+        name: str,
+        tags: dict,
+        start: float,
+        span_id: int,
+        parent_id: int | None,
+        thread: int,
+    ):
+        self.name = name
+        self.tags = tags
+        self.start = start
+        self.end: float | None = None
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread = thread
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while still active)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_tag(self, key: str, value) -> "Span":
+        """Attach/overwrite one tag; returns self for chaining."""
+        self.tags[key] = value
+        return self
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (used by the JSON exporter)."""
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration={self.duration:.6f}, tags={self.tags})"
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`.
+
+    The span is created (and the clock read) on ``__enter__`` so that
+    ``s = tracer.span(...)`` may be prepared ahead of the timed region.
+    """
+
+    __slots__ = ("_tracer", "_name", "_tags", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict):
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._tags)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans from any number of threads.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds).  Injectable for deterministic
+        tests; defaults to :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._local = threading.local()
+        self._next_id = 1
+        self._thread_index: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _alloc(self) -> tuple[int, int]:
+        """(span_id, dense thread index) under the lock."""
+        ident = threading.get_ident()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            tidx = self._thread_index.setdefault(ident, len(self._thread_index))
+        return span_id, tidx
+
+    def _open(self, name: str, tags: dict) -> Span:
+        span_id, tidx = self._alloc()
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(name, tags, self._clock(), span_id, parent_id, tidx)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop it from wherever it is
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags) -> _SpanContext:
+        """Open a labeled span: ``with tracer.span("pcg.spmv", rank=p): ...``."""
+        return _SpanContext(self, name, tags)
+
+    def event(self, name: str, **tags) -> Span:
+        """Record an instant (zero-duration) event at the current nesting."""
+        span = self._open(name, tags)
+        self._close(span)
+        span.end = span.start  # instant: one clock reading, end == start
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost active span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # querying ----------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans, ordered by start time."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.start, s.span_id))
+
+    def by_name(self, name: str) -> list[Span]:
+        """Completed spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span with this name."""
+        return sum(s.duration for s in self.by_name(name))
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of a span."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        """Top-level spans (no parent)."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        """Drop all completed spans (active stacks are untouched)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self)})"
+
+
+class _NullSpanContext:
+    """Shared do-nothing span: context manager and Span look-alike."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value) -> "_NullSpanContext":
+        return self
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-cost no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **tags) -> _NullSpanContext:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **tags) -> None:
+        """Discard the event."""
+        return None
+
+    def current(self) -> None:
+        """No active span, ever."""
+        return None
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    def by_name(self, name: str) -> list:
+        return []
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0
+
+    def roots(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Process-wide disabled tracer (the default active tracer).
+NULL_TRACER = NullTracer()

@@ -17,6 +17,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import CommError
+from repro.instrument import get_tracer
 from repro.mpisim.tracker import CommTracker
 
 __all__ = ["Comm", "SelfComm", "ReduceOp", "SUM", "MAX", "MIN", "ANY_TAG"]
@@ -97,61 +98,71 @@ class Comm:
         """Block until every rank arrives."""
         from repro.mpisim import collectives
 
-        collectives.barrier(self)
+        with get_tracer().span("mpisim.barrier", rank=self.rank):
+            collectives.barrier(self)
 
     def bcast(self, obj, root: int = 0):
         """Broadcast ``obj`` from ``root`` to every rank."""
         from repro.mpisim import collectives
 
-        return collectives.bcast(self, obj, root)
+        with get_tracer().span("mpisim.bcast", rank=self.rank):
+            return collectives.bcast(self, obj, root)
 
     def reduce(self, value, op: ReduceOp = SUM, root: int = 0):
         """Reduce to ``root``; other ranks receive None."""
         from repro.mpisim import collectives
 
-        return collectives.reduce(self, value, op, root)
+        with get_tracer().span("mpisim.reduce", rank=self.rank):
+            return collectives.reduce(self, value, op, root)
 
     def allreduce(self, value, op: ReduceOp = SUM):
         """Reduce and deliver the result on every rank."""
         from repro.mpisim import collectives
 
-        return collectives.allreduce(self, value, op)
+        with get_tracer().span("mpisim.allreduce", rank=self.rank):
+            return collectives.allreduce(self, value, op)
 
     def gather(self, value, root: int = 0):
         """Collect one value per rank at ``root``."""
         from repro.mpisim import collectives
 
-        return collectives.gather(self, value, root)
+        with get_tracer().span("mpisim.gather", rank=self.rank):
+            return collectives.gather(self, value, root)
 
     def allgather(self, value):
         """Collect one value per rank, everywhere."""
         from repro.mpisim import collectives
 
-        return collectives.allgather(self, value)
+        with get_tracer().span("mpisim.allgather", rank=self.rank):
+            return collectives.allgather(self, value)
 
     def scatter(self, values, root: int = 0):
         """Distribute one value per rank from ``root``."""
         from repro.mpisim import collectives
 
-        return collectives.scatter(self, values, root)
+        with get_tracer().span("mpisim.scatter", rank=self.rank):
+            return collectives.scatter(self, values, root)
 
     def alltoall(self, values):
         """Personalised exchange: ``values[j]`` goes to rank ``j``."""
         from repro.mpisim import collectives
 
-        return collectives.alltoall(self, values)
+        with get_tracer().span("mpisim.alltoall", rank=self.rank):
+            return collectives.alltoall(self, values)
 
     def scan(self, value, op: ReduceOp = SUM):
         """Inclusive prefix reduction."""
         from repro.mpisim import collectives
 
-        return collectives.scan(self, value, op)
+        with get_tracer().span("mpisim.scan", rank=self.rank):
+            return collectives.scan(self, value, op)
 
     def reduce_scatter(self, values, op: ReduceOp = SUM):
         """Element-wise reduce, scatter slot ``r`` to rank ``r``."""
         from repro.mpisim import collectives
 
-        return collectives.reduce_scatter(self, values, op)
+        with get_tracer().span("mpisim.reduce_scatter", rank=self.rank):
+            return collectives.reduce_scatter(self, values, op)
 
 
 class SelfComm(Comm):

@@ -19,6 +19,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import CommError
+from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.comm import ANY_TAG, Comm
 from repro.mpisim.tracker import CommTracker, payload_nbytes
 
@@ -89,14 +90,28 @@ class ThreadComm(Comm):
 
     # ------------------------------------------------------------------
     def send(self, obj, dest: int, tag: int = 0) -> None:
-        """Buffered (eager) send: enqueue and return immediately."""
+        """Buffered (eager) send: enqueue and return immediately.
+
+        Each message is recorded in the tracker (when attached) and, with
+        tracing enabled, emitted as an ``mpisim.send`` instant event tagged
+        with source, destination, tag and payload bytes.
+        """
         self._check_peer(dest)
         if dest == self.rank:
             raise CommError("send to self is not supported; restructure the exchange")
         if isinstance(obj, np.ndarray):
             obj = obj.copy()
-        if self.tracker is not None:
-            self.tracker.record_p2p(self.rank, dest, payload_nbytes(obj))
+        tracer = get_tracer()
+        if self.tracker is not None or tracer.enabled:
+            nbytes = payload_nbytes(obj)
+            if self.tracker is not None:
+                self.tracker.record_p2p(self.rank, dest, nbytes)
+            if tracer.enabled:
+                tracer.event("mpisim.send", src=self.rank, dst=dest, tag=tag,
+                             bytes=nbytes)
+                metrics = get_metrics()
+                metrics.counter("mpisim.messages").inc()
+                metrics.counter("mpisim.bytes").inc(nbytes)
         self._mailboxes[dest].put((self.rank, tag, obj))
 
     def isend(self, obj, dest: int, tag: int = 0) -> Request:
@@ -115,10 +130,13 @@ class ThreadComm(Comm):
         if source == self.rank:
             raise CommError("recv from self is not supported")
         limit = self._timeout if timeout is None else timeout
+        tracer = get_tracer()
         # check the stash of earlier non-matching messages first
         for k, (src, t, obj) in enumerate(self._pending):
             if src == source and (tag == ANY_TAG or t == tag):
                 del self._pending[k]
+                if tracer.enabled:
+                    tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
                 return obj
         while True:
             try:
@@ -129,6 +147,8 @@ class ThreadComm(Comm):
                     f"after {limit}s — likely deadlock or missing send"
                 ) from None
             if src == source and (tag == ANY_TAG or t == tag):
+                if tracer.enabled:
+                    tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
                 return obj
             self._pending.append((src, t, obj))
 

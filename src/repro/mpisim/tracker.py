@@ -15,11 +15,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import CommError
+
 __all__ = ["CommTracker", "payload_nbytes"]
 
 
 def payload_nbytes(obj) -> int:
-    """Approximate wire size of a message payload in bytes."""
+    """Wire size of a message payload in bytes.
+
+    Arrays and scalars are sized exactly; everything else falls back to its
+    pickled size (what a real MPI layer would ship for a Python object).  An
+    unpicklable payload raises :class:`~repro.errors.CommError` — silently
+    counting it as 0 bytes would undercount traffic and break the
+    byte-for-byte communication-invariance checks the benchmarks rely on.
+    """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, (int, float, np.integer, np.floating)):
@@ -30,8 +39,11 @@ def payload_nbytes(obj) -> int:
         return 8 * len(obj)
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 0
+    except Exception as exc:
+        raise CommError(
+            f"cannot size message payload of type {type(obj).__name__}: "
+            f"payload is not picklable ({exc!r})"
+        ) from exc
 
 
 @dataclass

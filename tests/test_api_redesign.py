@@ -1,0 +1,142 @@
+"""Tests of the solver/preconditioner API surface: ``precond=M`` resolution
+and the consolidated :class:`PrecondOptions` (with its deprecation shim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FilterSpec,
+    FSAIOptions,
+    PrecondOptions,
+    bicgstab,
+    build_fsai,
+    build_fsaie_comm,
+    pcg,
+    pipelined_pcg,
+)
+from repro.core.cg import resolve_precond
+
+
+class TestResolvePrecond:
+    def test_none_passes_through(self):
+        assert resolve_precond(None) is None
+
+    def test_object_with_apply(self, dist_poisson16):
+        mat, part, da, b = dist_poisson16
+        pre = build_fsai(mat, part)
+        fn = resolve_precond(pre)
+        assert fn == pre.apply
+        z = fn(b, None)
+        assert np.allclose(z.to_global(), pre.apply(b, None).to_global())
+
+    def test_bare_callable_kept(self):
+        fn = lambda r, tracker: r  # noqa: E731
+        assert resolve_precond(fn) is fn
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="precond"):
+            resolve_precond(42)
+        with pytest.raises(TypeError):
+            resolve_precond(object())
+
+    def test_solvers_accept_object_and_callable(self, dist_poisson16):
+        mat, part, da, b = dist_poisson16
+        pre = build_fsai(mat, part)
+        via_object = pcg(da, b, precond=pre)
+        via_callable = pcg(da, b, precond=pre.apply)
+        assert via_object.iterations == via_callable.iterations
+        assert np.allclose(
+            via_object.x.to_global(), via_callable.x.to_global()
+        )
+
+    def test_variant_solvers_accept_object(self, dist_poisson16):
+        mat, part, da, b = dist_poisson16
+        pre = build_fsai(mat, part)
+        assert pipelined_pcg(da, b, precond=pre).converged
+        assert bicgstab(da, b, precond=pre).converged
+
+
+class TestPrecondOptions:
+    def test_defaults(self):
+        opts = PrecondOptions()
+        assert opts.fsai == FSAIOptions()
+        assert opts.line_bytes == 64
+        assert opts.filter == FilterSpec()
+
+    def test_sub_configs(self):
+        opts = PrecondOptions(
+            fsai=FSAIOptions(level=2),
+            line_bytes=256,
+            filter=FilterSpec(0.05, dynamic=False),
+        )
+        assert opts.fsai.level == 2
+        assert opts.line_bytes == 256
+        assert opts.filter.value == 0.05 and not opts.filter.dynamic
+
+    def test_frozen(self):
+        opts = PrecondOptions()
+        with pytest.raises(AttributeError):
+            opts.line_bytes = 128
+
+    def test_legacy_fsai_keywords_warn_and_forward(self):
+        with pytest.warns(DeprecationWarning, match="fsai=FSAIOptions"):
+            opts = PrecondOptions(threshold=0.1, level=2)
+        assert opts.fsai == FSAIOptions(threshold=0.1, level=2)
+
+    def test_legacy_filter_keywords_warn_and_forward(self):
+        with pytest.warns(DeprecationWarning, match="FilterSpec"):
+            opts = PrecondOptions(filter_value=0.2, dynamic=False)
+        assert opts.filter == FilterSpec(0.2, dynamic=False)
+
+    def test_bare_numeric_filter_coerced(self):
+        with pytest.warns(DeprecationWarning, match="FilterSpec"):
+            opts = PrecondOptions(filter=0.1)
+        assert opts.filter == FilterSpec(0.1)
+
+    def test_mixing_new_and_legacy_fsai_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                PrecondOptions(fsai=FSAIOptions(), level=2)
+
+    def test_mixing_new_and_legacy_filter_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                PrecondOptions(filter=FilterSpec(0.05), dynamic=False)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            PrecondOptions(bananas=3)
+
+    def test_builders_share_the_surface(self, poisson3d8):
+        from repro.dist import RowPartition
+
+        part = RowPartition.from_matrix(poisson3d8, 4, seed=1)
+        opts = PrecondOptions(filter=FilterSpec(0.05), line_bytes=64)
+        via_options = build_fsaie_comm(poisson3d8, part, opts)
+        via_overrides = build_fsaie_comm(
+            poisson3d8, part, filter=FilterSpec(0.05), line_bytes=64
+        )
+        assert via_options.nnz == via_overrides.nnz
+
+    def test_builders_reject_options_plus_overrides(self, poisson3d8):
+        from repro.dist import RowPartition
+
+        part = RowPartition.from_matrix(poisson3d8, 4, seed=1)
+        with pytest.raises(TypeError, match="not both"):
+            build_fsaie_comm(poisson3d8, part, PrecondOptions(), line_bytes=64)
+
+    def test_legacy_spelling_matches_new_end_to_end(self, poisson3d8):
+        from repro.dist import RowPartition
+
+        part = RowPartition.from_matrix(poisson3d8, 4, seed=1)
+        new = build_fsaie_comm(
+            poisson3d8, part, PrecondOptions(filter=FilterSpec(0.05, dynamic=False))
+        )
+        with pytest.warns(DeprecationWarning):
+            old = build_fsaie_comm(
+                poisson3d8, part, PrecondOptions(filter_value=0.05, dynamic=False)
+            )
+        assert new.nnz == old.nnz
+        assert np.array_equal(new.nnz_per_rank(), old.nnz_per_rank())

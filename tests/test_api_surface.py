@@ -1,0 +1,52 @@
+"""CI gate: the exported API surface matches the generated reference.
+
+Runs ``scripts/check_api_surface.py`` as a subprocess (exactly how CI and
+developers invoke it) and asserts a clean exit.  Failures mean either a stale
+``__all__`` entry or that ``docs/API.md`` needs regenerating with
+``scripts/gen_api_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_script(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(REPO / "scripts" / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=120,
+    )
+
+
+def test_api_surface_is_clean():
+    proc = run_script("check_api_surface.py")
+    assert proc.returncode == 0, (
+        f"check_api_surface.py failed:\n{proc.stdout}{proc.stderr}"
+    )
+    assert "API surface clean" in proc.stdout
+
+
+def test_every_all_name_importable_in_process():
+    # belt-and-braces in-process variant: importable without the docs check
+    import importlib
+
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        from gen_api_docs import PACKAGES
+    finally:
+        sys.path.pop(0)
+    for pkg in PACKAGES:
+        mod = importlib.import_module(pkg)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{pkg}.__all__ exports undefined {name!r}"

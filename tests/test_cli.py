@@ -116,3 +116,41 @@ class TestExport:
             ["solve", "--matrix", str(tmp_path / "qa8fm.mtx"), "--ranks", "2"]
         )
         assert code == 0
+
+
+class TestTrace:
+    def test_chrome_trace_written(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--workload", "poisson2d:10", "--nparts", "4",
+             "--output", str(out)]
+        )
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "iteration spans" in report
+
+        import json
+
+        doc = json.loads(out.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        for phase in ("precond.pattern", "precond.extension",
+                      "precond.filtering", "precond.factor",
+                      "pcg.iteration", "halo.exchange"):
+            assert phase in names
+
+    def test_trace_halo_bytes_match_tracker(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--workload", "poisson2d:10", "--nparts", "4",
+             "--format", "json", "--output", str(out)]
+        )
+        assert code == 0
+        report = capsys.readouterr().out
+
+        from repro.instrument import read_json_trace
+
+        doc = read_json_trace(out)
+        halo = sum(
+            s["tags"]["bytes"] for s in doc["spans"] if s["name"] == "halo.exchange"
+        )
+        assert f"(tracker: {halo} bytes)" in report

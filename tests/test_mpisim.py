@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -239,6 +241,15 @@ class TestTracker:
         assert payload_nbytes(3.14) == 8
         assert payload_nbytes((1, 2, 3)) == 24
         assert payload_nbytes({"a": 1}) > 0
+
+    def test_payload_nbytes_unpicklable_raises(self):
+        # regression: used to silently return 0, undercounting traffic and
+        # defeating the byte-for-byte communication-invariance checks
+        unpicklable = lambda: None  # noqa: E731 — local lambdas don't pickle
+        with pytest.raises(CommError, match="not picklable"):
+            payload_nbytes(unpicklable)
+        with pytest.raises(CommError):
+            payload_nbytes(threading.Lock())
 
 
 class TestScanReduceScatter:
