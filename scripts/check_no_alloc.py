@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""CI gate: the warm-workspace hot loop must stay allocation-free.
+
+Runs one instrumented 2-D Poisson PCG solve through a warmed
+:class:`~repro.kernels.workspace.SolverWorkspace` and compares the
+per-iteration allocation counters against the recorded baseline in
+``benchmarks/baselines/no_alloc_baseline.json``.  Exits non-zero if the hot
+loop allocates more than the baseline allows — i.e. someone reintroduced a
+per-iteration array allocation on the solver path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_no_alloc.py [--grid 32] [--ranks 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines" / "no_alloc_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", type=int, default=32, help="Poisson grid edge")
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--baseline", default=str(BASELINE))
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.core.cg import pcg
+    from repro.core.precond import build_fsai
+    from repro.dist.matrix import DistMatrix
+    from repro.dist.partition_map import RowPartition
+    from repro.dist.vector import DistVector
+    from repro.kernels import SolverWorkspace
+    from repro.matgen import poisson2d
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    allowed = float(baseline["hot_allocs_per_iteration"])
+
+    mat = poisson2d(args.grid)
+    partition = RowPartition.contiguous(mat.nrows, args.ranks)
+    dmat = DistMatrix.from_global(mat, partition)
+    pre = build_fsai(mat, partition)
+    rng = np.random.default_rng(0)
+    b = DistVector.from_global(rng.standard_normal(mat.nrows), partition)
+
+    ws = SolverWorkspace(dmat)
+    warm = pcg(dmat, b, precond=pre, workspace=ws)  # warm-up solve
+    if not warm.converged:
+        print("error: warm-up solve did not converge", file=sys.stderr)
+        return 2
+    before = ws.allocations
+    result = pcg(dmat, b, precond=pre, workspace=ws)
+    hot = ws.allocations - before
+    per_iter = hot / max(result.iterations, 1)
+
+    print(
+        f"warm solve: {result.iterations} iterations, {hot} hot-loop array "
+        f"allocations ({per_iter:.3f}/iteration, baseline allows {allowed})"
+    )
+    if per_iter > allowed:
+        print(
+            "FAIL: per-iteration allocations regressed above the recorded "
+            f"baseline ({per_iter:.3f} > {allowed})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: hot loop is allocation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,7 @@ from repro.core import (
     pcg,
 )
 from repro.dist import DistMatrix, DistVector, HaloSchedule, RowPartition
+from repro.kernels import SolverWorkspace, SpMVPlan
 from repro.errors import (
     CommError,
     ConvergenceError,
@@ -87,6 +88,9 @@ __all__ = [
     "DistMatrix",
     "DistVector",
     "HaloSchedule",
+    # kernels
+    "SpMVPlan",
+    "SolverWorkspace",
     # sparse
     "CSRMatrix",
     "SparsityPattern",

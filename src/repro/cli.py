@@ -204,6 +204,18 @@ def cmd_trace(args) -> int:
     return 0 if result.converged else 1
 
 
+def cmd_bench(args) -> int:
+    """``repro bench``: run the kernel microbenchmarks, write BENCH_kernels.json."""
+    from repro.kernels.bench import DEFAULT_SIZES, format_summary, run_suite, write_suite
+
+    sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else DEFAULT_SIZES
+    result = run_suite(sizes=sizes, reps=args.reps, quick=args.quick)
+    path = write_suite(result, args.output)
+    print(format_summary(result))
+    print(f"\nwritten: {path}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """``repro info``: structural statistics of a matrix."""
     from repro.order import bandwidth
@@ -267,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="matrix statistics")
     add_common(p_info, with_solver=False)
     p_info.set_defaults(fn=cmd_info)
+
+    p_bench = sub.add_parser(
+        "bench", help="kernel microbenchmarks (plans, workspace, parallel setup)"
+    )
+    p_bench.add_argument("--output", default="BENCH_kernels.json",
+                         help="result JSON path")
+    p_bench.add_argument("--sizes", help="comma-separated 2-D grid sizes, e.g. 32,64,96")
+    p_bench.add_argument("--reps", type=int, default=5, help="repetitions (best-of)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smoke-test sizes/reps (numbers indicative only)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_exp = sub.add_parser("export", help="write catalog matrices as .mtx files")
     p_exp.add_argument("--output", default="matrices", help="output directory")

@@ -21,6 +21,7 @@ When tracing is enabled (:mod:`repro.instrument`), every iteration emits a
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -30,9 +31,17 @@ from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
 from repro.errors import ConvergenceError
 from repro.instrument import get_metrics, get_tracer
+from repro.kernels.workspace import SolverWorkspace
 from repro.mpisim.tracker import CommTracker
 
-__all__ = ["CGResult", "pcg", "cg", "resolve_precond"]
+__all__ = [
+    "CGResult",
+    "pcg",
+    "cg",
+    "resolve_precond",
+    "resolve_workspace",
+    "supports_workspace",
+]
 
 #: A bare preconditioner callable: ``z = M(r, tracker)``.
 PrecondFn = Callable[[DistVector, CommTracker | None], DistVector]
@@ -64,6 +73,37 @@ def resolve_precond(precond: PrecondLike) -> PrecondFn | None:
         "precond must be None, a Preconditioner-like object with .apply, "
         f"or a callable; got {type(precond).__name__}"
     )
+
+
+def resolve_workspace(
+    workspace: SolverWorkspace | bool | None, mat: DistMatrix
+) -> SolverWorkspace | None:
+    """Normalise the ``workspace=`` argument of the Krylov solvers.
+
+    ``None`` (the default) builds a fresh :class:`SolverWorkspace` for the
+    solve; ``False`` forces the legacy allocating path; an existing workspace
+    is reused (its plans and buffers carry over between solves).
+    """
+    if workspace is False:
+        return None
+    if workspace is None:
+        return SolverWorkspace(mat)
+    return workspace
+
+
+def supports_workspace(apply_m: PrecondFn | None) -> bool:
+    """Whether a preconditioner callable accepts ``out=`` / ``workspace=``.
+
+    :meth:`Preconditioner.apply` does; legacy bare callables
+    ``z = M(r, tracker)`` keep working through the allocating call.
+    """
+    if apply_m is None:
+        return False
+    try:
+        params = inspect.signature(apply_m).parameters
+    except (TypeError, ValueError):
+        return False
+    return "out" in params and "workspace" in params
 
 
 @dataclass
@@ -114,6 +154,7 @@ def pcg(
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
     raise_on_fail: bool = False,
+    workspace: SolverWorkspace | bool | None = None,
 ) -> CGResult:
     """Preconditioned CG on a distributed SPD matrix.
 
@@ -128,23 +169,43 @@ def pcg(
     raise_on_fail:
         Raise :class:`ConvergenceError` instead of returning an unconverged
         result.
+    workspace:
+        A :class:`SolverWorkspace` to reuse across solves, ``None`` to build
+        one for this solve (the default — hot-loop iterations then perform
+        zero array allocations), or ``False`` for the legacy allocating path.
+        Workspace solves replay the legacy arithmetic bitwise on the
+        reduceat plan path; narrow-row (ELL-planned) operators agree to
+        rounding instead — see :mod:`repro.kernels.plan`.
     """
     apply_m = resolve_precond(precond)
+    ws = resolve_workspace(workspace, mat)
+    fused = ws is not None and supports_workspace(apply_m)
     tracer = get_tracer()
     metrics = get_metrics()
     with tracer.span("pcg.solve", ranks=mat.partition.nparts,
                      preconditioned=apply_m is not None):
+        # x escapes in the result, so it is always freshly allocated
         x = DistVector.zeros(mat.partition)
-        r = b.copy()  # x0 = 0 so r0 = b
+        r = ws.vector("pcg.r").copy_from(b) if ws is not None else b.copy()
         norm0 = r.norm2(tracker)
         history = [norm0]
         if norm0 == 0.0:
             return CGResult(x, 0, True, history)
         target = rtol * norm0
 
+        z_buf = ws.vector("pcg.z") if ws is not None else None
+        ad_buf = ws.vector("pcg.ad") if ws is not None else None
+
+        def _precond(rvec: DistVector) -> DistVector:
+            if apply_m is None:
+                return z_buf.copy_from(rvec) if z_buf is not None else rvec.copy()
+            if fused:
+                return apply_m(rvec, tracker, out=z_buf, workspace=ws)
+            return apply_m(rvec, tracker)
+
         with tracer.span("pcg.precond"):
-            z = apply_m(r, tracker) if apply_m is not None else r.copy()
-        d = z.copy()
+            z = _precond(r)
+        d = ws.vector("pcg.d").copy_from(z) if ws is not None else z.copy()
         rz = r.dot(z, tracker)
         converged = False
         iterations = 0
@@ -157,7 +218,10 @@ def pcg(
                 break
             with tracer.span("pcg.iteration", index=iterations) as it_span:
                 with tracer.span("pcg.spmv"):
-                    ad = mat.spmv(d, tracker)
+                    if ws is not None:
+                        ad = ws.spmv(mat, d, out=ad_buf, tracker=tracker)
+                    else:
+                        ad = mat.spmv(d, tracker)
                 with tracer.span("pcg.dot"):
                     dad = d.dot(ad, tracker)
                 if dad <= 0 or not np.isfinite(dad):
@@ -170,7 +234,7 @@ def pcg(
                 with tracer.span("pcg.dot", kind="norm"):
                     history.append(r.norm2(tracker))
                 with tracer.span("pcg.precond"):
-                    z = apply_m(r, tracker) if apply_m is not None else r.copy()
+                    z = _precond(r)
                 with tracer.span("pcg.dot"):
                     rz_new = r.dot(z, tracker)
                 beta = rz_new / rz

@@ -16,11 +16,14 @@ size share one stacked LAPACK call).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import NotSPDError, ShapeError
+from repro.instrument import get_metrics
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import drop_small_relative
 from repro.sparse.pattern import SparsityPattern, power_pattern, threshold_pattern
@@ -70,13 +73,64 @@ def fsai_pattern(mat: CSRMatrix, options: FSAIOptions = FSAIOptions()) -> Sparsi
     return powered.lower().with_diagonal()
 
 
-def compute_g_values(mat: CSRMatrix, pattern: SparsityPattern) -> CSRMatrix:
+def _resolve_workers(parallel) -> int:
+    """Worker count from the ``parallel=`` knob (None/False→1, True→#cpus)."""
+    if parallel is None or parallel is False:
+        return 1
+    if parallel is True:
+        return os.cpu_count() or 1
+    workers = int(parallel)
+    if workers < 1:
+        raise ValueError(f"parallel must be a positive worker count, got {parallel}")
+    return workers
+
+
+def _solve_group(
+    mat: CSRMatrix, pattern: SparsityPattern, rows: np.ndarray, k: int, data: np.ndarray
+) -> None:
+    """Solve one batch of same-size rows; write their values into ``data``.
+
+    Each row's entries occupy a disjoint ``data`` slice, so concurrent calls
+    on disjoint row sets never race.
+    """
+    subs = np.empty((rows.size, k, k), dtype=np.float64)
+    for b, i in enumerate(rows):
+        idx = pattern.row(i)
+        if idx[-1] != i:
+            raise ShapeError(f"row {i}: pattern is not lower triangular with diagonal")
+        subs[b] = mat.submatrix(idx, idx)
+    rhs = np.zeros((rows.size, k), dtype=np.float64)
+    rhs[:, k - 1] = 1.0
+    try:
+        ys = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+        if not np.all(np.isfinite(ys)) or np.any(ys[:, k - 1] <= 0):
+            raise np.linalg.LinAlgError
+    except np.linalg.LinAlgError:
+        ys = _solve_rows_guarded(subs)
+    scale = 1.0 / np.sqrt(ys[:, k - 1])
+    ys *= scale[:, None]
+    for b, i in enumerate(rows):
+        lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
+        data[lo:hi] = ys[b]
+
+
+def compute_g_values(
+    mat: CSRMatrix, pattern: SparsityPattern, *, parallel=None
+) -> CSRMatrix:
     """Step 3 of Alg. 1: fill in values of ``G`` on a lower-triangular pattern.
 
     ``pattern`` must be lower triangular with a full diagonal.  Rows are
     grouped by pattern size and solved with one batched ``numpy.linalg.solve``
     per group; singular groups fall back to per-row solves with a tiny
     diagonal shift.
+
+    ``parallel`` fans the row-group solves out over a thread pool (the
+    batched LAPACK calls release the GIL): ``True`` uses one worker per CPU,
+    an integer sets the worker count, ``None``/``False`` (default) solves
+    serially.  Groups are split into per-worker chunks, so on matrices where
+    the singular-group fallback triggers, the fallback may cover a different
+    row subset than the serial pass — results can then differ in the last
+    bits.  On well-conditioned SPD inputs serial and parallel agree exactly.
     """
     n = mat.nrows
     if pattern.shape != (n, n):
@@ -85,30 +139,30 @@ def compute_g_values(mat: CSRMatrix, pattern: SparsityPattern) -> CSRMatrix:
     if np.any(row_sizes == 0):
         raise ShapeError("pattern must include every diagonal entry")
 
+    workers = _resolve_workers(parallel)
     data = np.empty(pattern.nnz, dtype=np.float64)
     # group rows by |S_i| so each group is one stacked solve
-    for k in np.unique(row_sizes):
-        rows = np.flatnonzero(row_sizes == k)
-        k = int(k)
-        subs = np.empty((rows.size, k, k), dtype=np.float64)
-        for b, i in enumerate(rows):
-            idx = pattern.row(i)
-            if idx[-1] != i:
-                raise ShapeError(f"row {i}: pattern is not lower triangular with diagonal")
-            subs[b] = mat.submatrix(idx, idx)
-        rhs = np.zeros((rows.size, k), dtype=np.float64)
-        rhs[:, k - 1] = 1.0
-        try:
-            ys = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
-            if not np.all(np.isfinite(ys)) or np.any(ys[:, k - 1] <= 0):
-                raise np.linalg.LinAlgError
-        except np.linalg.LinAlgError:
-            ys = _solve_rows_guarded(subs)
-        scale = 1.0 / np.sqrt(ys[:, k - 1])
-        ys *= scale[:, None]
-        for b, i in enumerate(rows):
-            lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
-            data[lo:hi] = ys[b]
+    groups = [(int(k), np.flatnonzero(row_sizes == k)) for k in np.unique(row_sizes)]
+    if workers == 1:
+        for k, rows in groups:
+            _solve_group(mat, pattern, rows, k, data)
+    else:
+        tasks: list[tuple[int, np.ndarray]] = []
+        for k, rows in groups:
+            chunk = max(16, -(-rows.size // workers))
+            tasks.extend(
+                (k, rows[off : off + chunk]) for off in range(0, rows.size, chunk)
+            )
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_solve_group, mat, pattern, rows, k, data)
+                for k, rows in tasks
+            ]
+            for future in futures:
+                future.result()  # re-raise worker exceptions
+        metrics = get_metrics()
+        metrics.counter("fsai.parallel_tasks").inc(len(tasks))
+        metrics.gauge("fsai.setup_workers").set(workers)
     return CSRMatrix(
         (n, n), pattern.indptr.copy(), pattern.indices.copy(), data, check=False
     )
@@ -139,14 +193,17 @@ def _solve_rows_guarded(subs: np.ndarray) -> np.ndarray:
     return out
 
 
-def fsai_factor(mat: CSRMatrix, options: FSAIOptions = FSAIOptions()) -> CSRMatrix:
+def fsai_factor(
+    mat: CSRMatrix, options: FSAIOptions = FSAIOptions(), *, parallel=None
+) -> CSRMatrix:
     """Full Alg. 1: pattern, values, optional post-filter + recompute.
 
     Returns the lower-triangular factor ``G`` with ``GᵀG ≈ A⁻¹``.
+    ``parallel`` follows the :func:`compute_g_values` contract.
     """
     pattern = fsai_pattern(mat, options)
-    g = compute_g_values(mat, pattern)
+    g = compute_g_values(mat, pattern, parallel=parallel)
     if options.post_filter > 0.0:
         filtered = drop_small_relative(g, options.post_filter)
-        g = compute_g_values(mat, SparsityPattern.from_csr(filtered))
+        g = compute_g_values(mat, SparsityPattern.from_csr(filtered), parallel=parallel)
     return g

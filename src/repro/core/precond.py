@@ -187,9 +187,32 @@ class Preconditioner:
     extensions: list[RankExtension] = field(default_factory=list)
     ext_nnz_unfiltered: int = 0
 
-    def apply(self, r: DistVector, tracker: CommTracker | None = None) -> DistVector:
-        """Preconditioning step ``z = Gᵀ(G·r)`` — two distributed SpMVs."""
-        return self.gt.spmv(self.g.spmv(r, tracker), tracker)
+    def apply(
+        self,
+        r: DistVector,
+        tracker: CommTracker | None = None,
+        *,
+        out: DistVector | None = None,
+        workspace=None,
+    ) -> DistVector:
+        """Preconditioning step ``z = Gᵀ(G·r)`` — two distributed SpMVs.
+
+        With a :class:`~repro.kernels.workspace.SolverWorkspace` the products
+        run fused through cached kernel plans: ``G·r`` lands in one reused
+        intermediate buffer, ``Gᵀ·(G·r)`` directly in ``out`` — zero
+        allocations once the workspace is warm.  ``out`` (optional) receives
+        the result in-place either way.
+        """
+        if workspace is not None:
+            tmp = workspace.vector(f"precond.gy.{id(self)}")
+            workspace.spmv(self.g, r, out=tmp, tracker=tracker)
+            if out is None:
+                out = workspace.vector(f"precond.z.{id(self)}")
+            return workspace.spmv(self.gt, tmp, out=out, tracker=tracker)
+        z = self.gt.spmv(self.g.spmv(r, tracker), tracker)
+        if out is not None:
+            return out.copy_from(z)
+        return z
 
     # metrics the paper's tables report -------------------------------
     @property
@@ -219,12 +242,16 @@ def build_fsai(
     mat: CSRMatrix,
     partition: RowPartition,
     options: PrecondOptions | None = None,
+    *,
+    parallel=None,
     **overrides,
 ) -> Preconditioner:
     """Baseline FSAI preconditioner (Alg. 1), distributed by rows.
 
     ``options`` may be a :class:`PrecondOptions`; alternatively pass its
     fields as keyword arguments (``build_fsai(A, part, fsai=FSAIOptions(level=2))``).
+    ``parallel`` fans the row-group factor solves over a thread pool — see
+    :func:`repro.core.fsai.compute_g_values`.
     """
     options = _coerce_options(options, overrides)
     tracer = get_tracer()
@@ -232,7 +259,7 @@ def build_fsai(
         with tracer.span("precond.pattern"):
             pattern = fsai_pattern(mat, options.fsai)
         with tracer.span("precond.factor"):
-            g = compute_g_values(mat, pattern)
+            g = compute_g_values(mat, pattern, parallel=parallel)
         pre = _distribute("FSAI", g, partition, base_nnz=pattern.nnz,
                           filters=np.zeros(partition.nparts))
     _record_build_metrics(pre)
@@ -243,28 +270,38 @@ def build_fsaie(
     mat: CSRMatrix,
     partition: RowPartition,
     options: PrecondOptions | None = None,
+    *,
+    parallel=None,
     **overrides,
 ) -> Preconditioner:
     """FSAIE: cache-friendly extension of local entries only (Alg. 2).
 
-    Shares the :class:`PrecondOptions` surface of :func:`build_fsai`.
+    Shares the :class:`PrecondOptions` surface (and ``parallel`` knob) of
+    :func:`build_fsai`.
     """
     options = _coerce_options(options, overrides)
-    return _build_extended("FSAIE", mat, partition, options, ExtensionMode.LOCAL)
+    return _build_extended(
+        "FSAIE", mat, partition, options, ExtensionMode.LOCAL, parallel=parallel
+    )
 
 
 def build_fsaie_comm(
     mat: CSRMatrix,
     partition: RowPartition,
     options: PrecondOptions | None = None,
+    *,
+    parallel=None,
     **overrides,
 ) -> Preconditioner:
     """FSAIE-Comm: communication-aware local + halo extension (Alg. 3).
 
-    Shares the :class:`PrecondOptions` surface of :func:`build_fsai`.
+    Shares the :class:`PrecondOptions` surface (and ``parallel`` knob) of
+    :func:`build_fsai`.
     """
     options = _coerce_options(options, overrides)
-    return _build_extended("FSAIE-Comm", mat, partition, options, ExtensionMode.COMM)
+    return _build_extended(
+        "FSAIE-Comm", mat, partition, options, ExtensionMode.COMM, parallel=parallel
+    )
 
 
 class ExtensionWorkspace:
@@ -286,12 +323,14 @@ class ExtensionWorkspace:
         *,
         line_bytes: int = 64,
         fsai: FSAIOptions = FSAIOptions(),
+        parallel=None,
     ):
         self.name = name
         self.mat = mat
         self.partition = partition
         self.mode = mode
         self.line_bytes = line_bytes
+        self.parallel = parallel
         tracer = get_tracer()
         with tracer.span("precond.workspace", method=name, mode=mode.name):
             with tracer.span("precond.pattern"):
@@ -318,7 +357,7 @@ class ExtensionWorkspace:
 
             # Alg. 2 step 4: precalculate G on the full extended pattern
             with tracer.span("precond.factor", stage="precalculate"):
-                self.g_pre = compute_g_values(mat, s_ext)
+                self.g_pre = compute_g_values(mat, s_ext, parallel=parallel)
             self.ratios = entry_ratios(self.g_pre)
             self.ext_mask = extension_entry_mask(self.g_pre, self.base)
             self.entry_owner = partition.owner[
@@ -349,7 +388,8 @@ class ExtensionWorkspace:
                 filtered = self.g_pre.drop_entries(drop)
             with tracer.span("precond.factor", stage="recompute"):
                 g_final = compute_g_values(
-                    self.mat, SparsityPattern.from_csr(filtered)
+                    self.mat, SparsityPattern.from_csr(filtered),
+                    parallel=self.parallel,
                 )
             pre = _distribute(
                 self.name, g_final, self.partition, base_nnz=self.base.nnz,
@@ -367,9 +407,12 @@ def _build_extended(
     partition: RowPartition,
     options: PrecondOptions,
     mode: ExtensionMode,
+    *,
+    parallel=None,
 ) -> Preconditioner:
     workspace = ExtensionWorkspace(
-        name, mat, partition, mode, line_bytes=options.line_bytes, fsai=options.fsai
+        name, mat, partition, mode, line_bytes=options.line_bytes, fsai=options.fsai,
+        parallel=parallel,
     )
     return workspace.finalize(options.filter)
 

@@ -11,14 +11,42 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cg import CGResult, PrecondLike, resolve_precond
+from repro.core.cg import (
+    CGResult,
+    PrecondLike,
+    resolve_precond,
+    resolve_workspace,
+    supports_workspace,
+)
 from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
 from repro.errors import ConvergenceError
 from repro.instrument import get_metrics, get_tracer
+from repro.kernels.workspace import SolverWorkspace
 from repro.mpisim.tracker import CommTracker
 
 __all__ = ["bicgstab", "steepest_descent", "pipelined_pcg"]
+
+
+def _make_apply(precond_fn, ws, tracker):
+    """Preconditioner application closure shared by the solvers here.
+
+    Routes through the workspace (fused, allocation-free) when both the
+    workspace and the preconditioner support it; each distinct result buffer
+    is named by the caller so concurrently-live applications never alias.
+    """
+    fused = ws is not None and supports_workspace(precond_fn)
+
+    def apply_m(vec: DistVector, out_name: str) -> DistVector:
+        if precond_fn is None:
+            if ws is not None:
+                return ws.vector(out_name).copy_from(vec)
+            return vec.copy()
+        if fused:
+            return precond_fn(vec, tracker, out=ws.vector(out_name), workspace=ws)
+        return precond_fn(vec, tracker)
+
+    return apply_m
 
 
 def bicgstab(
@@ -30,6 +58,7 @@ def bicgstab(
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
     raise_on_fail: bool = False,
+    workspace: SolverWorkspace | bool | None = None,
 ) -> CGResult:
     """Right-preconditioned BiCGSTAB (van der Vorst 1992).
 
@@ -38,24 +67,30 @@ def bicgstab(
     nonsymmetric SPAI ``M`` is admissible.  ``precond`` accepts a
     preconditioner object (anything with ``.apply``) or a bare callable, like
     :func:`repro.core.cg.pcg`, and the same result type is returned.
+    ``workspace`` follows the :func:`repro.core.cg.pcg` contract (``False``
+    for the legacy allocating path); arithmetic is identical either way.
     """
     precond_fn = resolve_precond(precond)
-
-    def apply_m(v: DistVector) -> DistVector:
-        return precond_fn(v, tracker) if precond_fn is not None else v.copy()
+    ws = resolve_workspace(workspace, mat)
+    apply_m = _make_apply(precond_fn, ws, tracker)
 
     x = DistVector.zeros(mat.partition)
-    r = b.copy()
+    r = ws.vector("bicgstab.r").copy_from(b) if ws is not None else b.copy()
     norm0 = r.norm2(tracker)
     history = [norm0]
     if norm0 == 0.0:
         return CGResult(x, 0, True, history)
     target = rtol * norm0
 
-    r_hat = r.copy()  # shadow residual
+    # shadow residual
+    r_hat = ws.vector("bicgstab.r_hat").copy_from(r) if ws is not None else r.copy()
     rho = alpha = omega = 1.0
-    v = DistVector.zeros(mat.partition)
-    p = DistVector.zeros(mat.partition)
+    v = ws.vector("bicgstab.v") if ws is not None else DistVector.zeros(mat.partition)
+    p = ws.vector("bicgstab.p") if ws is not None else DistVector.zeros(mat.partition)
+    if ws is not None:
+        v.fill(0.0)
+        p.fill(0.0)
+        s = ws.vector("bicgstab.s")
     converged = False
     iterations = 0
     tracer = get_tracer()
@@ -69,20 +104,26 @@ def bicgstab(
             if rho_new == 0.0 or not np.isfinite(rho_new):
                 break  # breakdown
             if iterations == 0:
-                p = r.copy()
+                p = p.copy_from(r) if ws is not None else r.copy()
             else:
                 beta = (rho_new / rho) * (alpha / omega)
                 # p = r + beta (p − ω v)
                 p.axpy(-omega, v)
                 p.xpay(r, beta)
             rho = rho_new
-            y = apply_m(p)
-            v = mat.spmv(y, tracker)
+            y = apply_m(p, "bicgstab.y")
+            if ws is not None:
+                v = ws.spmv(mat, y, out=v, tracker=tracker)
+            else:
+                v = mat.spmv(y, tracker)
             denom = r_hat.dot(v, tracker)
             if denom == 0.0 or not np.isfinite(denom):
                 break
             alpha = rho / denom
-            s = r.copy().axpy(-alpha, v)
+            if ws is not None:
+                s.copy_from(r).axpy(-alpha, v)
+            else:
+                s = r.copy().axpy(-alpha, v)
             if s.norm2(tracker) <= target:
                 x.axpy(alpha, y)
                 history.append(s.norm2(tracker))
@@ -90,15 +131,21 @@ def bicgstab(
                 iter_counter.inc()
                 converged = True
                 break
-            z = apply_m(s)
-            t = mat.spmv(z, tracker)
+            z = apply_m(s, "bicgstab.z")
+            if ws is not None:
+                t = ws.spmv(mat, z, out=ws.vector("bicgstab.t"), tracker=tracker)
+            else:
+                t = mat.spmv(z, tracker)
             tt = t.dot(t, tracker)
             if tt == 0.0:
                 break
             omega = t.dot(s, tracker) / tt
             x.axpy(alpha, y)
             x.axpy(omega, z)
-            r = s.copy().axpy(-omega, t)
+            if ws is not None:
+                r.copy_from(s).axpy(-omega, t)
+            else:
+                r = s.copy().axpy(-omega, t)
             history.append(r.norm2(tracker))
             iterations += 1
             iter_counter.inc()
@@ -165,6 +212,7 @@ def pipelined_pcg(
     rtol: float = 1e-8,
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
+    workspace: SolverWorkspace | bool | None = None,
 ) -> CGResult:
     """Pipelined preconditioned CG (Ghysels & Vanroose 2014).
 
@@ -177,12 +225,13 @@ def pipelined_pcg(
     recurrence per iteration and slightly weaker numerical stability.
 
     ``precond`` accepts a preconditioner object (anything with ``.apply``)
-    or a bare callable, like :func:`repro.core.cg.pcg`.
+    or a bare callable, like :func:`repro.core.cg.pcg`; ``workspace`` follows
+    the :func:`repro.core.cg.pcg` contract (``False`` for the legacy
+    allocating path) with identical arithmetic.
     """
     precond_fn = resolve_precond(precond)
-
-    def apply_m(v: DistVector) -> DistVector:
-        return precond_fn(v, tracker) if precond_fn is not None else v.copy()
+    ws = resolve_workspace(workspace, mat)
+    apply_m = _make_apply(precond_fn, ws, tracker)
 
     def fused_dots(*pairs: tuple[DistVector, DistVector]) -> list[float]:
         """Several global dots in ONE allreduce — the pipelining payoff."""
@@ -194,8 +243,13 @@ def pipelined_pcg(
             tracker.record_collective("allreduce", 8 * len(pairs))
         return partials
 
+    def spmv(vec: DistVector, out_name: str) -> DistVector:
+        if ws is not None:
+            return ws.spmv(mat, vec, out=ws.vector(out_name), tracker=tracker)
+        return mat.spmv(vec, tracker)
+
     x = DistVector.zeros(mat.partition)
-    r = b.copy()
+    r = ws.vector("ppcg.r").copy_from(b) if ws is not None else b.copy()
     (norm0_sq,) = fused_dots((b, b))
     norm0 = float(np.sqrt(max(norm0_sq, 0.0)))
     history = [norm0]
@@ -203,16 +257,22 @@ def pipelined_pcg(
         return CGResult(x, 0, True, history)
     target = rtol * norm0
 
-    u = apply_m(r)  # u = M r
-    w = mat.spmv(u, tracker)  # w = A u
+    u = apply_m(r, "ppcg.u")  # u = M r
+    w = spmv(u, "ppcg.w")  # w = A u
     gamma, delta = fused_dots((r, u), (w, u))
-    m_w = apply_m(w)
-    n_vec = mat.spmv(m_w, tracker)
+    m_w = apply_m(w, "ppcg.m_w")
+    n_vec = spmv(m_w, "ppcg.n")
 
-    z = n_vec.copy()
-    q = m_w.copy()
-    p = u.copy()
-    s = w.copy()
+    if ws is not None:
+        z = ws.vector("ppcg.z").copy_from(n_vec)
+        q = ws.vector("ppcg.q").copy_from(m_w)
+        p = ws.vector("ppcg.p").copy_from(u)
+        s = ws.vector("ppcg.s").copy_from(w)
+    else:
+        z = n_vec.copy()
+        q = m_w.copy()
+        p = u.copy()
+        s = w.copy()
     alpha = gamma / delta if delta != 0 else 0.0
     converged = False
     iterations = 0
@@ -237,19 +297,27 @@ def pipelined_pcg(
                 converged = True
                 break
             with tracer.span("pcg.precond"):
-                m_w = apply_m(w)
+                m_w = apply_m(w, "ppcg.m_w")
             with tracer.span("pcg.spmv"):
-                n_vec = mat.spmv(m_w, tracker)
+                n_vec = spmv(m_w, "ppcg.n")
             beta = gamma_new / gamma if gamma != 0 else 0.0
             gamma = gamma_new
             denom = delta - beta * gamma / alpha if alpha != 0 else delta
             alpha = gamma / denom if denom != 0 else 0.0
             # pipelined recurrences replace the d-vector update of standard CG
+            # (in the workspace path xpay(v, beta) computes the same
+            # v + beta·self update in place, bitwise identically)
             with tracer.span("pcg.axpy"):
-                z = n_vec.copy().axpy(beta, z)
-                q = m_w.copy().axpy(beta, q)
-                p = u.copy().axpy(beta, p)
-                s = w.copy().axpy(beta, s)
+                if ws is not None:
+                    z.xpay(n_vec, beta)
+                    q.xpay(m_w, beta)
+                    p.xpay(u, beta)
+                    s.xpay(w, beta)
+                else:
+                    z = n_vec.copy().axpy(beta, z)
+                    q = m_w.copy().axpy(beta, q)
+                    p = u.copy().axpy(beta, p)
+                    s = w.copy().axpy(beta, s)
 
     if history[-1] <= target:
         converged = True

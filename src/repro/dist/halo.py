@@ -43,7 +43,7 @@ class HaloSchedule:
         ``ext_cols[p]`` (where received values land in the halo buffer).
     """
 
-    __slots__ = ("partition", "ext_cols", "recv_from", "send_to", "recv_pos")
+    __slots__ = ("partition", "ext_cols", "recv_from", "send_to", "recv_pos", "recv_src")
 
     def __init__(self, partition: RowPartition, ext_cols: list[np.ndarray]):
         if len(ext_cols) != partition.nparts:
@@ -72,6 +72,12 @@ class HaloSchedule:
         for p, by_owner in enumerate(self.recv_from):
             for q, ids in by_owner.items():
                 self.send_to[q][p] = ids
+        # sender-local positions of each message, precomputed once so updates
+        # skip the per-call global->local translation
+        self.recv_src: list[dict[int, np.ndarray]] = [
+            {q: partition.local_index[ids] for q, ids in by_owner.items()}
+            for by_owner in self.recv_from
+        ]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -131,12 +137,22 @@ class HaloSchedule:
 
     # ------------------------------------------------------------------
     def update(
-        self, x_parts: list[np.ndarray], tracker: CommTracker | None = None
+        self,
+        x_parts: list[np.ndarray],
+        tracker: CommTracker | None = None,
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         """Bulk-synchronous halo update: return per-rank halo buffers.
 
         ``x_parts[p]`` holds rank ``p``'s local values in local order.  Each
         exchanged message is recorded in ``tracker`` (8 bytes per value).
+
+        ``out`` supplies preallocated receive buffers (one per rank, each of
+        length ``halo_size(p)``) — e.g. tail views of a
+        :class:`~repro.kernels.workspace.SolverWorkspace` SpMV input vector —
+        making the update allocation-free.  Received values cover every halo
+        position, so the buffers need no zeroing.  Without ``out``, fresh
+        buffers are allocated and counted in the ``kernels.allocs`` metric.
 
         With tracing enabled, the update emits a ``halo.update`` span with
         one ``halo.exchange`` child per receiving rank (tagged ``rank`` and
@@ -145,26 +161,46 @@ class HaloSchedule:
         """
         tracer = get_tracer()
         if tracer.enabled:
-            return self._update_traced(x_parts, tracker, tracer)
+            return self._update_traced(x_parts, tracker, tracer, out)
         part = self.partition
-        halos = [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(part.nparts)]
+        halos = self._recv_buffers(out)
         for p in range(part.nparts):
             for q, ids in self.recv_from[p].items():
                 if ids.size == 0:
                     continue
-                values = x_parts[q][part.local_index[ids]]
+                values = x_parts[q][self.recv_src[p][q]]
                 halos[p][self.recv_pos[p][q]] = values
                 if tracker is not None:
                     tracker.record_p2p(q, p, 8 * ids.size)
         return halos
 
+    def _recv_buffers(self, out: list[np.ndarray] | None) -> list[np.ndarray]:
+        """Validate supplied receive buffers, or allocate (and count) fresh ones."""
+        nparts = self.partition.nparts
+        if out is not None:
+            if len(out) != nparts:
+                raise PartitionError("need one halo receive buffer per rank")
+            for p, buf in enumerate(out):
+                if buf.shape != (self.ext_cols[p].size,):
+                    raise PartitionError(
+                        f"rank {p}: halo buffer has shape {buf.shape}, expected "
+                        f"({self.ext_cols[p].size},)"
+                    )
+            return out
+        get_metrics().counter("kernels.allocs").inc(nparts)
+        return [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(nparts)]
+
     def _update_traced(
-        self, x_parts: list[np.ndarray], tracker: CommTracker | None, tracer
+        self,
+        x_parts: list[np.ndarray],
+        tracker: CommTracker | None,
+        tracer,
+        out: list[np.ndarray] | None = None,
     ) -> list[np.ndarray]:
         """The :meth:`update` loop with per-rank spans and byte accounting."""
         part = self.partition
         metrics = get_metrics()
-        halos = [np.zeros(self.ext_cols[p].size, dtype=np.float64) for p in range(part.nparts)]
+        halos = self._recv_buffers(out)
         total_bytes = 0
         with tracer.span("halo.update", ranks=part.nparts):
             for p in range(part.nparts):
@@ -177,7 +213,7 @@ class HaloSchedule:
                             continue
                         nbytes = 8 * int(ids.size)
                         with tracer.span("halo.pack", src=q, dst=p, bytes=nbytes):
-                            values = x_parts[q][part.local_index[ids]]
+                            values = x_parts[q][self.recv_src[p][q]]
                         with tracer.span("halo.unpack", src=q, dst=p, bytes=nbytes):
                             halos[p][self.recv_pos[p][q]] = values
                         if tracker is not None:

@@ -17,6 +17,7 @@ from repro.dist.halo import HaloSchedule
 from repro.dist.partition_map import RowPartition
 from repro.dist.vector import DistVector
 from repro.errors import ShapeError
+from repro.instrument import get_metrics
 from repro.mpisim.tracker import CommTracker
 from repro.sparse.csr import CSRMatrix
 
@@ -91,7 +92,7 @@ class LocalMatrix:
 class DistMatrix:
     """A sparse matrix distributed by rows with a halo exchange schedule."""
 
-    __slots__ = ("partition", "locals", "schedule", "shape")
+    __slots__ = ("partition", "locals", "schedule", "shape", "_plans")
 
     def __init__(
         self,
@@ -106,6 +107,7 @@ class DistMatrix:
         self.locals = locals_
         self.schedule = schedule
         self.shape = (int(shape[0]), int(shape[1]))
+        self._plans = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -169,8 +171,39 @@ class DistMatrix:
         """Stored entries per rank."""
         return np.array([lm.nnz for lm in self.locals], dtype=np.int64)
 
-    def spmv(self, x: DistVector, tracker: CommTracker | None = None) -> DistVector:
-        """Distributed ``y = A·x``: halo update then per-rank local SpMV."""
+    def plans(self) -> list:
+        """Per-rank :class:`~repro.kernels.plan.SpMVPlan` set, built lazily.
+
+        Cached on the matrix (plans snapshot the structure, so the matrix
+        must not be mutated after the first call).  Cache hits and misses
+        accumulate in the ``kernels.plan_cache.*`` metrics.
+        """
+        if self._plans is None:
+            from repro.kernels.plan import SpMVPlan
+
+            get_metrics().counter("kernels.plan_cache.misses").inc()
+            self._plans = [SpMVPlan(lm.csr) for lm in self.locals]
+        else:
+            get_metrics().counter("kernels.plan_cache.hits").inc()
+        return self._plans
+
+    def spmv(
+        self,
+        x: DistVector,
+        tracker: CommTracker | None = None,
+        *,
+        workspace=None,
+        out: DistVector | None = None,
+    ) -> DistVector:
+        """Distributed ``y = A·x``: halo update then per-rank local SpMV.
+
+        With a :class:`~repro.kernels.workspace.SolverWorkspace` the product
+        runs through cached plans and preallocated buffers (allocation-free
+        once warm); otherwise fresh arrays are allocated per call and counted
+        in the ``kernels.allocs`` metric.
+        """
+        if workspace is not None:
+            return workspace.spmv(self, x, out=out, tracker=tracker)
         if x.partition != self.partition:
             raise ShapeError("operand lives on a different partition")
         halos = self.schedule.update(x.parts, tracker)
@@ -178,6 +211,10 @@ class DistMatrix:
         for p, lm in enumerate(self.locals):
             xin = np.concatenate([x.parts[p], halos[p]]) if lm.n_halo else x.parts[p]
             out_parts.append(lm.csr.spmv(xin))
+        get_metrics().counter("kernels.allocs").inc(2 * self.partition.nparts)
+        if out is not None:
+            out.copy_from(DistVector(self.partition, out_parts))
+            return out
         return DistVector(self.partition, out_parts)
 
     def flops_per_rank(self) -> np.ndarray:

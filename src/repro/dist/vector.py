@@ -60,6 +60,13 @@ class DistVector:
         """Deep copy."""
         return DistVector(self.partition, [a.copy() for a in self.parts])
 
+    def copy_from(self, other: "DistVector") -> "DistVector":
+        """In-place ``self[:] = other`` (no allocation); returns self."""
+        self._check_compatible(other)
+        for a, b in zip(self.parts, other.parts):
+            np.copyto(a, b)
+        return self
+
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "DistVector") -> None:
         if self.partition != other.partition:

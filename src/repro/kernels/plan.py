@@ -1,0 +1,260 @@
+"""Precomputed SpMV kernel plans — allocation-free matrix-vector products.
+
+The paper's premise is that preconditioner application is bound by memory
+traffic, not flops — yet the plain :meth:`CSRMatrix.spmv` pays Python-side
+overhead on every call: it re-derives the nonempty-row mask, allocates the
+gathered-product scratch array, and (for the transpose product) falls back to
+``np.add.at`` scatter-adds, the slowest reduction NumPy offers.
+
+An :class:`SpMVPlan` hoists all of that out of the iteration loop.  At
+construction it computes, once per matrix:
+
+* the ``add.reduceat`` segment starts (and, when some rows are empty, the
+  compressed nonempty-row index list),
+* a full transpose gather plan — a CSC view of the matrix (permuted values,
+  source-row gather indices, column segment starts) so ``Aᵀx`` is evaluated
+  with the same gather + ``reduceat`` kernel as ``Ax`` instead of
+  ``np.add.at``,
+* for narrow-row matrices (every row at most :data:`ELL_MAX_WIDTH` entries
+  and modest padding overhead — the common case for stencil operators and
+  FSAI factors), a zero-padded ELLPACK layout stored slot-major, so the
+  per-row reduction is a handful of long contiguous vector adds instead of
+  ``reduceat``'s per-segment dispatch,
+* reusable scratch buffers sized ``nnz`` (or the padded ELL size).
+
+After construction, :meth:`spmv` / :meth:`spmv_t` perform **zero array
+allocations** when an ``out=`` vector is supplied: the gather runs through
+``np.take(..., out=...)``, the multiply through ``np.multiply(..., out=...)``
+and the reduction through ``np.add.reduceat(..., out=...)`` or in-place
+vector adds over the ELL slots.
+
+Numerics: the reduceat path reduces each row with the exact routine
+``CSRMatrix.spmv`` uses, so it is bitwise-identical to the unplanned kernel.
+The ELL path accumulates each row strictly left to right (a deterministic,
+documented order), which matches ``reduceat``'s internal pairwise order only
+to rounding — expect 1-ulp-level differences from the unplanned kernel on
+narrow matrices.  The ELL padding multiplies ``0.0`` against ``x[0]``, so it
+assumes finite input vectors (as every iterative solver here does).
+
+Plans snapshot the matrix structure and values at construction; the matrix
+must not be mutated afterwards.  A plan's scratch buffers make it **not
+thread-safe** — share a plan only within one thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SpMVPlan", "ELL_MAX_WIDTH"]
+
+# Rows wider than this keep the reduceat path; 8 keeps the slot loop short
+# and covers every stencil/FSAI operator in the evaluation suite.
+ELL_MAX_WIDTH = 8
+# Padded size must stay within this factor of nnz, or ELL wastes bandwidth.
+_ELL_PAD_FACTOR = 1.5
+
+
+def _build_ell(widths: np.ndarray, indices: np.ndarray, data: np.ndarray):
+    """Slot-major ELLPACK arrays ``(width, n)`` from row-major CSR triples.
+
+    Returns ``(idx, vals, scratch)`` or ``None`` when the layout does not
+    pay off (wide rows or too much padding).  Slot ``j`` holds the ``j``-th
+    stored entry of every row, zero-padded, so the row reduction is
+    ``width`` contiguous vector adds.
+    """
+    n = widths.size
+    if n == 0 or indices.size == 0:
+        return None
+    w = int(widths.max())
+    if w == 0 or w > ELL_MAX_WIDTH or n * w > _ELL_PAD_FACTOR * indices.size:
+        return None
+    mask = np.arange(w) < widths[:, None]  # (n, w), row-major like CSR data
+    idx = np.zeros((n, w), dtype=np.int64)
+    vals = np.zeros((n, w), dtype=np.float64)
+    idx[mask] = indices
+    vals[mask] = data
+    # slot-major: each slot is one contiguous length-n vector
+    idx = np.ascontiguousarray(idx.T)
+    vals = np.ascontiguousarray(vals.T)
+    return idx, vals, np.empty((w, n), dtype=np.float64)
+
+
+def _ell_apply(x, idx, vals, scratch, out):
+    """``out[i] = Σ_j vals[j, i] * x[idx[j, i]]``, left-to-right in ``j``."""
+    np.take(x, idx, out=scratch, mode="clip")
+    np.multiply(scratch, vals, out=scratch)
+    if scratch.shape[0] == 1:
+        np.copyto(out, scratch[0])
+        return out
+    np.add(scratch[0], scratch[1], out=out)
+    for j in range(2, scratch.shape[0]):
+        out += scratch[j]
+    return out
+
+
+def _check_out(out: np.ndarray, n: int, label: str) -> None:
+    """Validate a user-supplied output vector (shape and dtype)."""
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"{label} must be a numpy array, got {type(out).__name__}")
+    if out.dtype != np.float64:
+        raise TypeError(f"{label} must have dtype float64, got {out.dtype}")
+    if out.shape != (n,):
+        raise ShapeError(f"{label} has shape {out.shape}, expected ({n},)")
+
+
+class SpMVPlan:
+    """Per-matrix SpMV metadata and scratch buffers, computed once.
+
+    Parameters
+    ----------
+    mat:
+        The CSR matrix to plan for.  Its ``indptr``/``indices``/``data``
+        arrays are referenced (forward product) and partially copied
+        (transpose gather plan); do not mutate the matrix afterwards.
+
+    Attributes
+    ----------
+    calls / calls_t:
+        Plain counters of forward/transpose products executed through the
+        plan (object-local so the hot path never touches a registry; the
+        runtime layer publishes them to :mod:`repro.instrument`).
+    """
+
+    __slots__ = (
+        "mat", "nrows", "ncols", "nnz",
+        "_starts", "_row_ids", "_all_rows_nonempty", "_prod", "_seg",
+        "_ell_idx", "_ell_vals", "_ell_x",
+        "_t_rows", "_t_data", "_t_starts", "_t_col_ids",
+        "_all_cols_nonempty", "_t_prod", "_t_seg",
+        "_t_ell_idx", "_t_ell_vals", "_t_ell_x",
+        "calls", "calls_t",
+    )
+
+    def __init__(self, mat: CSRMatrix):
+        self.mat = mat
+        self.nrows, self.ncols = mat.shape
+        self.nnz = mat.nnz
+        self.calls = 0
+        self.calls_t = 0
+
+        widths = np.diff(mat.indptr)
+        ell = _build_ell(widths, mat.indices, mat.data)
+        if ell is not None:
+            self._ell_idx, self._ell_vals, self._ell_x = ell
+            self._starts = self._row_ids = self._seg = self._prod = None
+            self._all_rows_nonempty = True
+        else:
+            self._ell_idx = self._ell_vals = self._ell_x = None
+            # forward plan: reduceat starts over nonempty rows
+            starts = mat.indptr[:-1]
+            nonempty = mat.indptr[1:] > starts
+            self._all_rows_nonempty = bool(nonempty.all()) if self.nrows else True
+            if self._all_rows_nonempty:
+                self._starts = np.ascontiguousarray(starts)
+                self._row_ids = None
+                self._seg = None
+            else:
+                self._row_ids = np.flatnonzero(nonempty)
+                self._starts = np.ascontiguousarray(starts[self._row_ids])
+                self._seg = np.empty(self._row_ids.size, dtype=np.float64)
+            self._prod = np.empty(self.nnz, dtype=np.float64)
+
+        # transpose plan: CSC gather (stable sort keeps determinism and,
+        # within a column, ascending source rows)
+        order = np.argsort(mat.indices, kind="stable")
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), mat.row_nnz())
+        t_rows = rows[order]
+        t_data = mat.data[order]
+        col_counts = np.bincount(mat.indices, minlength=self.ncols) if self.nnz \
+            else np.zeros(self.ncols, dtype=np.int64)
+        t_ell = _build_ell(col_counts, t_rows, t_data)
+        if t_ell is not None:
+            self._t_ell_idx, self._t_ell_vals, self._t_ell_x = t_ell
+            self._t_rows = self._t_data = None
+            self._t_starts = self._t_col_ids = self._t_seg = self._t_prod = None
+            self._all_cols_nonempty = True
+            return
+        self._t_ell_idx = self._t_ell_vals = self._t_ell_x = None
+        self._t_rows = t_rows
+        self._t_data = t_data
+        t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
+        np.cumsum(col_counts, out=t_indptr[1:])
+        t_starts = t_indptr[:-1]
+        col_nonempty = t_indptr[1:] > t_starts
+        self._all_cols_nonempty = bool(col_nonempty.all()) if self.ncols else True
+        if self._all_cols_nonempty:
+            self._t_starts = np.ascontiguousarray(t_starts)
+            self._t_col_ids = None
+            self._t_seg = None
+        else:
+            self._t_col_ids = np.flatnonzero(col_nonempty)
+            self._t_starts = np.ascontiguousarray(t_starts[self._t_col_ids])
+            self._t_seg = np.empty(self._t_col_ids.size, dtype=np.float64)
+        self._t_prod = np.empty(self.nnz, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` through the plan; allocation-free when ``out`` is given.
+
+        ``out`` may alias ``x``: the gathered products are materialised in the
+        plan's scratch buffer before ``out`` is written.
+        """
+        if x.shape != (self.ncols,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        if out is None:
+            out = np.empty(self.nrows, dtype=np.float64)
+        else:
+            _check_out(out, self.nrows, "out")
+        self.calls += 1
+        if self.nnz == 0:
+            out.fill(0.0)
+            return out
+        if self._ell_idx is not None:
+            return _ell_apply(x, self._ell_idx, self._ell_vals, self._ell_x, out)
+        # indices are validated at matrix construction; mode="clip" skips the
+        # redundant per-call bounds check
+        np.take(x, self.mat.indices, out=self._prod, mode="clip")
+        np.multiply(self._prod, self.mat.data, out=self._prod)
+        if self._all_rows_nonempty:
+            np.add.reduceat(self._prod, self._starts, out=out)
+        else:
+            np.add.reduceat(self._prod, self._starts, out=self._seg)
+            out.fill(0.0)
+            out[self._row_ids] = self._seg
+        return out
+
+    def spmv_t(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = Aᵀ @ x`` through the transpose gather plan (no ``add.at``).
+
+        ``out`` may alias ``x``; allocation-free when ``out`` is given.
+        """
+        if x.shape != (self.nrows,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({self.nrows},)")
+        if out is None:
+            out = np.empty(self.ncols, dtype=np.float64)
+        else:
+            _check_out(out, self.ncols, "out")
+        self.calls_t += 1
+        if self.nnz == 0:
+            out.fill(0.0)
+            return out
+        if self._t_ell_idx is not None:
+            return _ell_apply(x, self._t_ell_idx, self._t_ell_vals, self._t_ell_x, out)
+        np.take(x, self._t_rows, out=self._t_prod, mode="clip")
+        np.multiply(self._t_prod, self._t_data, out=self._t_prod)
+        if self._all_cols_nonempty:
+            np.add.reduceat(self._t_prod, self._t_starts, out=out)
+        else:
+            np.add.reduceat(self._t_prod, self._t_starts, out=self._t_seg)
+            out.fill(0.0)
+            out[self._t_col_ids] = self._t_seg
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SpMVPlan(shape=({self.nrows}, {self.ncols}), nnz={self.nnz}, "
+            f"calls={self.calls}+{self.calls_t}T)"
+        )

@@ -37,6 +37,16 @@ def _as_index_array(values, name: str) -> np.ndarray:
     return arr
 
 
+def _check_out(out: np.ndarray, n: int) -> None:
+    """Validate a user-supplied ``out=`` vector: float64 ndarray of length n."""
+    if not isinstance(out, np.ndarray):
+        raise TypeError(f"out must be a numpy array, got {type(out).__name__}")
+    if out.dtype != np.float64:
+        raise TypeError(f"out must have dtype float64, got {out.dtype}")
+    if out.shape != (n,):
+        raise ShapeError(f"out has shape {out.shape}, expected ({n},)")
+
+
 class CSRMatrix:
     """A real-valued sparse matrix in CSR format.
 
@@ -71,11 +81,20 @@ class CSRMatrix:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_coo(cls, shape, rows, cols, vals, *, sum_duplicates: bool = True) -> "CSRMatrix":
+    def from_coo(
+        cls, shape, rows, cols, vals, *,
+        sum_duplicates: bool = True, canonical: bool = False,
+    ) -> "CSRMatrix":
         """Build from coordinate triplets.
 
         Duplicate ``(row, col)`` entries are summed (``sum_duplicates=True``)
         or rejected.
+
+        ``canonical=True`` asserts the triplets are already in lexicographic
+        ``(row, col)`` order with no duplicates — e.g. the output of
+        ``np.nonzero`` on a dense array — and skips the O(nnz log nnz)
+        sort/dedup pass.  The resulting structure is still validated cheaply
+        via the CSR invariant check.
         """
         nrows, ncols = int(shape[0]), int(shape[1])
         rows = _as_index_array(rows, "rows")
@@ -88,6 +107,14 @@ class CSRMatrix:
                 raise SparseFormatError("row index out of range")
             if cols.min() < 0 or cols.max() >= ncols:
                 raise SparseFormatError("column index out of range")
+        if canonical:
+            counts = np.bincount(rows, minlength=nrows) if rows.size else \
+                np.zeros(nrows, dtype=np.int64)
+            indptr = np.zeros(nrows + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            # check=True here is the cheap per-row ordering validation that
+            # catches a wrong canonical= promise instead of corrupting state
+            return cls((nrows, ncols), indptr, cols, vals, check=True)
         # lexicographic sort by (row, col)
         order = np.lexsort((cols, rows))
         rows, cols, vals = rows[order], cols[order], vals[order]
@@ -114,8 +141,9 @@ class CSRMatrix:
         if dense.ndim != 2:
             raise ShapeError("from_dense expects a 2-D array")
         mask = np.abs(dense) > tol
+        # np.nonzero walks row-major: triplets come out canonically ordered
         rows, cols = np.nonzero(mask)
-        return cls.from_coo(dense.shape, rows, cols, dense[rows, cols])
+        return cls.from_coo(dense.shape, rows, cols, dense[rows, cols], canonical=True)
 
     @classmethod
     def identity(cls, n: int) -> "CSRMatrix":
@@ -231,19 +259,29 @@ class CSRMatrix:
         Vectorised with ``add.reduceat`` over the gathered products — the
         irregular gather ``x[indices]`` is the cache-critical access the FSAI
         extension algorithms optimise.
+
+        ``out`` must be a float64 vector of length ``nrows``; it may alias
+        ``x`` (the gathered products are materialised before ``out`` is
+        written).  For repeated products over one matrix prefer
+        :class:`repro.kernels.plan.SpMVPlan`, which hoists the per-call
+        metadata work done here out of the loop.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.ncols},)")
+        if out is not None:
+            _check_out(out, self.nrows)
+        if self.nnz == 0:
+            if out is None:
+                return np.zeros(self.nrows, dtype=np.float64)
+            out[:] = 0.0
+            return out
+        # gathered products come first so that out= may alias x
+        prod = self.data * x[self.indices]
         if out is None:
             out = np.zeros(self.nrows, dtype=np.float64)
         else:
-            if out.shape != (self.nrows,):
-                raise ShapeError("out has wrong shape")
             out[:] = 0.0
-        if self.nnz == 0:
-            return out
-        prod = self.data * x[self.indices]
         # reduceat over the starts of nonempty rows only: those starts are
         # strictly increasing and < nnz, so each segment ends exactly at the
         # next nonempty row (or the end of prod).
@@ -254,20 +292,30 @@ class CSRMatrix:
         return out
 
     def spmv_transpose(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Compute ``y = Aᵀ @ x`` without materialising the transpose."""
+        """Compute ``y = Aᵀ @ x`` without materialising the transpose.
+
+        ``out`` must be a float64 vector of length ``ncols``; it may alias
+        ``x``.  :class:`repro.kernels.plan.SpMVPlan.spmv_t` evaluates the same
+        product through a precomputed gather plan without the ``add.at``
+        scatter used here.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.nrows,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.nrows},)")
+        if out is not None:
+            _check_out(out, self.ncols)
+        if self.nnz == 0:
+            if out is None:
+                return np.zeros(self.ncols, dtype=np.float64)
+            out[:] = 0.0
+            return out
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_nnz())
+        prod = self.data * x[rows]  # before touching out: out= may alias x
         if out is None:
             out = np.zeros(self.ncols, dtype=np.float64)
         else:
-            if out.shape != (self.ncols,):
-                raise ShapeError("out has wrong shape")
             out[:] = 0.0
-        if self.nnz == 0:
-            return out
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_nnz())
-        np.add.at(out, self.indices, self.data * x[rows])
+        np.add.at(out, self.indices, prod)
         return out
 
     def transpose(self) -> "CSRMatrix":

@@ -1,0 +1,68 @@
+"""Smoke tests for the microbenchmark suite and the no-alloc CI gate.
+
+Marked ``bench_smoke`` so they can be selected (or skipped) separately::
+
+    PYTHONPATH=src python -m pytest -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import format_summary, run_suite, write_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_run_suite_quick_shape(tmp_path):
+    result = run_suite(sizes=(12, 16), reps=1, quick=True)
+    assert result["spmv"], "spmv section must not be empty"
+    for rec in result["spmv"]:
+        assert rec["planned_s"] > 0.0
+        assert rec["speedup"] > 0.0
+    summary = result["summary"]
+    assert summary["pcg_hot_allocs"] == 0
+    assert result["pcg"]["solutions_match"]
+    assert "spmv_speedup_largest" in summary
+    assert "setup_speedup" in summary
+
+    path = write_suite(result, tmp_path / "BENCH_kernels.json")
+    loaded = json.loads(Path(path).read_text())
+    assert loaded["summary"] == summary
+
+    text = format_summary(result)
+    assert "kernel microbenchmarks" in text
+
+
+def test_check_no_alloc_script_passes():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_no_alloc.py"),
+         "--grid", "16"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "allocation-free" in proc.stdout
+
+
+def test_check_no_alloc_script_fails_on_tight_baseline(tmp_path):
+    # A negative allowance can never be met, so the gate must trip.
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"hot_allocs_per_iteration": -1.0}))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_no_alloc.py"),
+         "--grid", "16", "--baseline", str(baseline)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert "FAIL" in proc.stderr

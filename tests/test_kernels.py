@@ -1,0 +1,311 @@
+"""Tests for the kernel-plan / workspace runtime (repro.kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FSAIOptions, compute_g_values, fsai_factor, fsai_pattern
+from repro.core.cg import pcg, supports_workspace
+from repro.core.precond import build_fsai
+from repro.core.solvers import bicgstab, pipelined_pcg
+from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.errors import ShapeError
+from repro.instrument import NULL_TRACER, tracing
+from repro.kernels import SolverWorkspace, SpMVPlan
+from repro.matgen import paper_rhs, poisson2d
+from repro.sparse import CSRMatrix
+
+from conftest import random_sparse
+
+
+class TestSpMVPlan:
+    def test_forward_bitwise_matches_csr(self, rng):
+        # Dense enough that rows exceed the ELL width cap -> reduceat path,
+        # which replays the exact gather/multiply/reduceat sequence of
+        # CSRMatrix.spmv and is therefore bitwise identical.
+        mat = random_sparse(rng, 37, 29, density=0.6)
+        plan = SpMVPlan(mat)
+        assert plan._ell_idx is None
+        x = rng.standard_normal(29)
+        assert np.array_equal(plan.spmv(x), mat.spmv(x))
+
+    def test_ell_path_matches_csr(self, rng):
+        # Narrow rows (Poisson stencil) select the ELL layout, which sums
+        # rows left-to-right: deterministic, but only rounding-equal to the
+        # reduceat kernel.
+        mat = poisson2d(12)
+        plan = SpMVPlan(mat)
+        assert plan._ell_idx is not None
+        x = rng.standard_normal(mat.ncols)
+        assert np.allclose(plan.spmv(x), mat.spmv(x), atol=1e-13)
+        first = plan.spmv(x)
+        assert np.array_equal(first, plan.spmv(x))  # deterministic replay
+        y = rng.standard_normal(mat.nrows)
+        assert np.allclose(plan.spmv_t(y), mat.spmv_transpose(y), atol=1e-13)
+
+    def test_ell_out_aliasing(self, rng):
+        mat = poisson2d(8)
+        plan = SpMVPlan(mat)
+        x = rng.standard_normal(mat.ncols)
+        ref = plan.spmv(x.copy())
+        buf = x.copy()
+        plan.spmv(buf, out=buf)
+        assert np.array_equal(buf, ref)
+
+    def test_transpose_matches_csr(self, rng):
+        mat = random_sparse(rng, 37, 29, density=0.15)
+        plan = SpMVPlan(mat)
+        x = rng.standard_normal(37)
+        # the transpose gather plan sums in a different order than the
+        # add.at kernel, so agreement is to rounding, not bitwise.
+        assert np.allclose(plan.spmv_t(x), mat.spmv_transpose(x), atol=1e-13)
+
+    def test_empty_rows_and_cols(self, rng):
+        dense = np.zeros((6, 5))
+        dense[0, 1] = 2.0
+        dense[4, 3] = -1.5
+        mat = CSRMatrix.from_dense(dense)
+        plan = SpMVPlan(mat)
+        x = rng.standard_normal(5)
+        y = rng.standard_normal(6)
+        assert np.allclose(plan.spmv(x), dense @ x)
+        assert np.allclose(plan.spmv_t(y), dense.T @ y)
+
+    def test_empty_matrix(self):
+        mat = CSRMatrix.from_dense(np.zeros((4, 3)))
+        plan = SpMVPlan(mat)
+        assert np.array_equal(plan.spmv(np.ones(3)), np.zeros(4))
+        assert np.array_equal(plan.spmv_t(np.ones(4)), np.zeros(3))
+
+    def test_out_reuse_is_allocation_free_per_call(self, rng):
+        mat = random_sparse(rng, 20, 20, density=0.3)
+        plan = SpMVPlan(mat)
+        x = rng.standard_normal(20)
+        out = np.empty(20)
+        ref = plan.spmv(x)
+        result = plan.spmv(x, out=out)
+        assert result is out
+        assert np.array_equal(out, ref)
+        assert plan.calls == 2
+
+    def test_out_aliasing_input_square(self, rng):
+        mat = random_sparse(rng, 20, 20, density=0.3)
+        plan = SpMVPlan(mat)
+        x = rng.standard_normal(20)
+        ref = plan.spmv(x.copy())
+        buf = x.copy()
+        plan.spmv(buf, out=buf)
+        assert np.array_equal(buf, ref)
+
+    def test_out_wrong_shape(self, rng):
+        plan = SpMVPlan(random_sparse(rng, 8, 5, density=0.4))
+        with pytest.raises(ShapeError):
+            plan.spmv(np.ones(5), out=np.empty(4))
+        with pytest.raises(ShapeError):
+            plan.spmv_t(np.ones(8), out=np.empty(8))
+
+    def test_out_wrong_dtype(self, rng):
+        plan = SpMVPlan(random_sparse(rng, 8, 5, density=0.4))
+        with pytest.raises(TypeError):
+            plan.spmv(np.ones(5), out=np.empty(8, dtype=np.float32))
+        with pytest.raises(TypeError):
+            plan.spmv(np.ones(5), out=[0.0] * 8)
+
+
+class TestCSROutAliasing:
+    def test_spmv_out_aliases_input(self, rng):
+        mat = random_sparse(rng, 15, 15, density=0.3)
+        x = rng.standard_normal(15)
+        ref = mat.spmv(x.copy())
+        buf = x.copy()
+        mat.spmv(buf, out=buf)
+        assert np.array_equal(buf, ref)
+
+    def test_spmv_transpose_out_aliases_input(self, rng):
+        mat = random_sparse(rng, 15, 15, density=0.3)
+        x = rng.standard_normal(15)
+        ref = mat.spmv_transpose(x.copy())
+        buf = x.copy()
+        mat.spmv_transpose(buf, out=buf)
+        assert np.array_equal(buf, ref)
+
+    def test_out_wrong_dtype_rejected(self, rng):
+        mat = random_sparse(rng, 6, 6, density=0.4)
+        with pytest.raises(TypeError):
+            mat.spmv(np.ones(6), out=np.empty(6, dtype=np.float32))
+        with pytest.raises(TypeError):
+            mat.spmv_transpose(np.ones(6), out=np.empty(6, dtype=int))
+
+
+class TestFromCooCanonical:
+    def test_canonical_fast_path_matches_sort_path(self, rng):
+        dense = rng.standard_normal((9, 7))
+        dense[np.abs(dense) < 0.6] = 0.0
+        rows, cols = np.nonzero(dense)
+        vals = dense[rows, cols]
+        a = CSRMatrix.from_coo(dense.shape, rows, cols, vals)
+        b = CSRMatrix.from_coo(dense.shape, rows, cols, vals, canonical=True)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+
+
+@pytest.fixture
+def dist_setup():
+    mat = poisson2d(16)
+    part = RowPartition.contiguous(mat.nrows, 4)
+    dmat = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=3), part)
+    return mat, part, dmat, b
+
+
+class TestSolverWorkspace:
+    def test_workspace_spmv_matches_legacy(self, dist_setup, rng):
+        mat, part, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        x = DistVector.from_global(rng.standard_normal(mat.nrows), part)
+        legacy = dmat.spmv(x)
+        out = DistVector.zeros(part)
+        ws.spmv(dmat, x, out=out)
+        for p in range(part.nparts):
+            # ELL-planned local blocks agree to rounding with the legacy
+            # reduceat kernel (see repro.kernels.plan)
+            assert np.allclose(out.parts[p], legacy.parts[p], atol=1e-13)
+
+    def test_partition_mismatch_rejected(self, dist_setup):
+        mat, part, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        other = RowPartition.contiguous(mat.nrows, 2)
+        x = DistVector.zeros(other)
+        with pytest.raises(ShapeError):
+            ws.spmv(dmat, x)
+
+    def test_plan_cache_hits(self, dist_setup):
+        _, _, dmat, b = dist_setup
+        with tracing(NULL_TRACER) as (_, metrics):
+            ws = SolverWorkspace(dmat)
+            ws.spmv(dmat, b)
+            ws.spmv(dmat, b)
+            assert metrics.value("kernels.plan_cache.misses") == 1
+            assert metrics.value("kernels.plan_cache.hits") >= 1
+
+    def test_pcg_workspace_identical_to_legacy(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        legacy = pcg(dmat, b, precond=pre, workspace=False)
+        ws = SolverWorkspace(dmat)
+        fused = pcg(dmat, b, precond=pre, workspace=ws)
+        # ELL plans sum rows in a different (documented) order than the
+        # legacy reduceat kernel, so paths agree to rounding, not bitwise.
+        assert abs(fused.iterations - legacy.iterations) <= 2
+        assert fused.converged and legacy.converged
+        for p in range(part.nparts):
+            assert np.allclose(
+                fused.x.parts[p], legacy.x.parts[p], rtol=1e-6, atol=1e-9
+            )
+
+    def test_pcg_zero_hot_allocations_after_warmup(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        ws = SolverWorkspace(dmat)
+        pcg(dmat, b, precond=pre, workspace=ws)  # warm-up
+        before = ws.allocations
+        result = pcg(dmat, b, precond=pre, workspace=ws)
+        assert result.converged
+        assert ws.allocations == before
+
+    def test_legacy_path_allocates_measurably_more(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        with tracing(NULL_TRACER) as (_, metrics):
+            pcg(dmat, b, precond=pre, workspace=False)
+            legacy_allocs = metrics.value("kernels.allocs")
+        with tracing(NULL_TRACER) as (_, metrics):
+            ws = SolverWorkspace(dmat)
+            pcg(dmat, b, precond=pre, workspace=ws)
+            pcg(dmat, b, precond=pre, workspace=ws)
+            warm_allocs = metrics.value("kernels.allocs") or 0
+        assert legacy_allocs is not None and legacy_allocs > 0
+        # Two warm-capable solves still allocate less than half of one
+        # legacy solve (warm solves allocate only the result vector).
+        assert warm_allocs * 2 < legacy_allocs
+
+    def test_result_vector_does_not_alias_workspace(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        ws = SolverWorkspace(dmat)
+        first = pcg(dmat, b, precond=pre, workspace=ws)
+        snapshot = [p.copy() for p in first.x.parts]
+        pcg(dmat, b, precond=pre, workspace=ws)
+        for p in range(part.nparts):
+            assert np.array_equal(first.x.parts[p], snapshot[p])
+
+    def test_bicgstab_workspace_identical_to_legacy(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        legacy = bicgstab(dmat, b, precond=pre, workspace=False)
+        fused = bicgstab(dmat, b, precond=pre, workspace=SolverWorkspace(dmat))
+        assert abs(fused.iterations - legacy.iterations) <= 2
+        for p in range(part.nparts):
+            assert np.allclose(
+                fused.x.parts[p], legacy.x.parts[p], rtol=1e-6, atol=1e-9
+            )
+
+    def test_pipelined_pcg_workspace_identical_to_legacy(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+        legacy = pipelined_pcg(dmat, b, precond=pre, workspace=False)
+        fused = pipelined_pcg(
+            dmat, b, precond=pre, workspace=SolverWorkspace(dmat)
+        )
+        assert abs(fused.iterations - legacy.iterations) <= 2
+        for p in range(part.nparts):
+            assert np.allclose(
+                fused.x.parts[p], legacy.x.parts[p], rtol=1e-6, atol=1e-9
+            )
+
+    def test_supports_workspace_detection(self, dist_setup):
+        mat, part, _, _ = dist_setup
+        pre = build_fsai(mat, part)
+        assert supports_workspace(pre.apply)
+        assert not supports_workspace(lambda r, tracker: r)
+        assert not supports_workspace(None)
+
+    def test_legacy_callable_precond_still_works(self, dist_setup):
+        mat, part, dmat, b = dist_setup
+        pre = build_fsai(mat, part)
+
+        def apply_m(r, tracker=None):
+            return pre.apply(r, tracker)
+
+        result = pcg(dmat, b, precond=apply_m)
+        reference = pcg(dmat, b, precond=pre, workspace=False)
+        assert result.converged
+        assert abs(result.iterations - reference.iterations) <= 2
+
+
+class TestParallelFSAI:
+    def test_parallel_matches_serial_exactly(self, poisson16):
+        pattern = fsai_pattern(poisson16, FSAIOptions(level=2))
+        serial = compute_g_values(poisson16, pattern)
+        parallel = compute_g_values(poisson16, pattern, parallel=2)
+        assert np.array_equal(serial.data, parallel.data)
+
+    def test_parallel_worker_validation(self, poisson16):
+        pattern = fsai_pattern(poisson16, FSAIOptions())
+        with pytest.raises(ValueError):
+            compute_g_values(poisson16, pattern, parallel=0)
+
+    def test_fsai_factor_parallel(self, poisson16):
+        serial = fsai_factor(poisson16)
+        parallel = fsai_factor(poisson16, parallel=2)
+        assert np.array_equal(serial.data, parallel.data)
+
+    def test_build_fsai_parallel_solves(self, poisson16):
+        part = RowPartition.contiguous(poisson16.nrows, 4)
+        dmat = DistMatrix.from_global(poisson16, part)
+        b = DistVector.from_global(paper_rhs(poisson16, seed=3), part)
+        pre = build_fsai(poisson16, part, parallel=2)
+        result = pcg(dmat, b, precond=pre)
+        assert result.converged
