@@ -109,6 +109,28 @@ def iteration_count(name: str = "pcg.iterations") -> int:
     return int(METRICS.sum_values(name))
 
 
+def run_report(label: str = "bench-harness"):
+    """The session's accumulated instrumentation as a unified RunReport.
+
+    Bundles the flat metrics registry, per-span timer totals and the derived
+    harness aggregates (setup/solve seconds, iteration count) into one
+    versioned :class:`repro.observe.RunReport` — the artifact benchmark runs
+    emit next to their tables instead of ad-hoc dicts.
+    """
+    from repro.observe import RunReport
+
+    report = RunReport.from_run(TRACER, METRICS, label=label, scale=scale())
+    report.add_metric("harness.setup_seconds", setup_seconds())
+    report.add_metric("harness.solve_seconds", solve_seconds())
+    report.add_metric("harness.iterations", iteration_count())
+    return report
+
+
+def write_run_report(path, label: str = "bench-harness"):
+    """Write :func:`run_report` as JSON; returns the path written."""
+    return run_report(label).save(path)
+
+
 def scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""CI gate: kernel microbenchmark counters must not regress.
+
+Diffs a ``BENCH_kernels.json`` suite result (a recorded file, or a fresh
+quick run) against the recorded baseline in
+``benchmarks/baselines/bench_baseline.json`` through
+:meth:`repro.observe.RunReport.compare` with per-metric tolerances:
+
+* allocation counters gate exactly (a warm workspace solve must stay at
+  zero hot-loop allocations);
+* iteration counts gate with a small absolute allowance, and only when the
+  fresh run used the same suite configuration as the baseline (iteration
+  counts depend on the benchmarked grid);
+* timing-derived speedups are machine-dependent and are only checked with
+  ``--check-timings`` (wide relative tolerance) — never in CI by default.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py            # quick run
+    PYTHONPATH=src python scripts/check_bench_regression.py --bench BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "bench_baseline.json"
+)
+
+#: Deterministic counters, gated on every run.
+GATED_METRICS = {
+    "bench.pcg_hot_allocs": {"rel": 0.0, "abs": 0.0},
+    "bench.pcg.workspace_allocs_hot": {"rel": 0.0, "abs": 0.0},
+}
+
+#: Config-dependent counters, gated only when fresh config == baseline config.
+CONFIG_METRICS = {
+    "bench.pcg.iterations": {"rel": 0.0, "abs": 2.0},
+}
+
+#: Machine-dependent ratios, opt-in via --check-timings.
+TIMING_METRICS = {
+    "bench.spmv_speedup_largest": {"rel": 0.9},
+    "bench.spmv_transpose_speedup_largest": {"rel": 0.9},
+    "bench.pcg_speedup": {"rel": 0.9},
+    "bench.setup_speedup": {"rel": 0.9},
+}
+
+#: Suite configuration of the recorded baseline (quick smoke sizes).
+BASELINE_SIZES = (12, 16)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        help="existing BENCH_kernels.json to check (default: run a quick suite)",
+    )
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--check-timings",
+        action="store_true",
+        help="also gate speedup ratios (machine-dependent; not for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observe import ReportError, RunReport
+
+    try:
+        baseline = RunReport.load(args.baseline)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.bench:
+        try:
+            fresh = RunReport.load(args.bench)
+        except ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.kernels.bench import run_suite
+
+        result = run_suite(sizes=BASELINE_SIZES, reps=1, quick=True)
+        fresh = RunReport.from_bench(result, label="fresh")
+
+    tolerances = dict(GATED_METRICS)
+    if fresh.meta.get("config") == baseline.meta.get("config"):
+        tolerances.update(CONFIG_METRICS)
+    else:
+        print(
+            "note: suite configs differ, skipping iteration-count gate "
+            f"(baseline {baseline.meta.get('config')}, fresh {fresh.meta.get('config')})"
+        )
+    if args.check_timings:
+        tolerances.update(TIMING_METRICS)
+
+    gated = sorted(name for name in tolerances if name in baseline.metrics)
+    comparison = baseline.compare(fresh, tolerances, metrics=gated)
+    print(comparison.render())
+    if not comparison.passed:
+        print(
+            "FAIL: benchmark counters regressed beyond the recorded baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: benchmark counters within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

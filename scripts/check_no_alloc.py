@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """CI gate: the warm-workspace hot loop must stay allocation-free.
 
-Runs one instrumented 2-D Poisson PCG solve through a warmed
-:class:`~repro.kernels.workspace.SolverWorkspace` and compares the
-per-iteration allocation counters against the recorded baseline in
+Runs one 2-D Poisson PCG solve (tracing disabled — the zero-overhead path)
+through a warmed :class:`~repro.kernels.workspace.SolverWorkspace`, records
+the per-iteration allocation counters into a
+:class:`repro.observe.RunReport`, and gates on the report's
+``kernels.hot_allocs_per_iteration`` metric against the recorded baseline in
 ``benchmarks/baselines/no_alloc_baseline.json``.  Exits non-zero if the hot
 loop allocates more than the baseline allows — i.e. someone reintroduced a
 per-iteration array allocation on the solver path.
@@ -11,6 +13,7 @@ per-iteration array allocation on the solver path.
 Usage::
 
     PYTHONPATH=src python scripts/check_no_alloc.py [--grid 32] [--ranks 4]
+                                                    [--report out.json]
 """
 
 from __future__ import annotations
@@ -30,6 +33,9 @@ def main(argv=None) -> int:
     parser.add_argument("--grid", type=int, default=32, help="Poisson grid edge")
     parser.add_argument("--ranks", type=int, default=4)
     parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--report", help="also write the measured RunReport JSON to this path"
+    )
     args = parser.parse_args(argv)
 
     import numpy as np
@@ -60,7 +66,22 @@ def main(argv=None) -> int:
     before = ws.allocations
     result = pcg(dmat, b, precond=pre, workspace=ws)
     hot = ws.allocations - before
-    per_iter = hot / max(result.iterations, 1)
+
+    # the gate reads the measured counts through the RunReport surface — the
+    # same artifact 'repro report --compare' and the bench gate consume
+    from repro.observe import RunReport
+
+    report = RunReport(
+        meta={"label": "no-alloc-gate", "grid": args.grid, "ranks": args.ranks}
+    )
+    report.add_metric("pcg.iterations", result.iterations)
+    report.add_metric("kernels.hot_allocs", hot)
+    report.add_metric(
+        "kernels.hot_allocs_per_iteration", hot / max(result.iterations, 1)
+    )
+    if args.report:
+        report.save(args.report)
+    per_iter = report.metrics["kernels.hot_allocs_per_iteration"]
 
     print(
         f"warm solve: {result.iterations} iterations, {hot} hot-loop array "

@@ -216,6 +216,41 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """``repro report``: render or compare unified run reports.
+
+    ``PATH`` may be a saved :class:`~repro.observe.RunReport`, an exported
+    ``repro-trace`` document, or a ``BENCH_kernels.json`` suite — anything
+    :meth:`RunReport.load` understands.  With ``--compare OTHER``, ``PATH``
+    is the baseline and the exit code reflects the regression verdict
+    (0 pass, 1 fail), making the subcommand usable directly as a CI gate.
+    """
+    from repro.observe import RunReport
+
+    report = RunReport.load(args.path)
+    if args.compare:
+        other = RunReport.load(args.compare)
+        tolerances = {}
+        for spec in args.tol or []:
+            name, sep, value = spec.partition("=")
+            try:
+                tolerances[name] = float(value)
+            except ValueError:
+                raise ReproError(
+                    f"--tol expects NAME=RELATIVE_TOLERANCE, got {spec!r}"
+                ) from None
+            if not sep or not name:
+                raise ReproError(f"--tol expects NAME=RELATIVE_TOLERANCE, got {spec!r}")
+        comparison = report.compare(
+            other, tolerances, default_rel=args.default_rel
+        )
+        print(comparison.render(only_failures=args.only_failures))
+        return 0 if comparison.passed else 1
+    rendered = report.to_markdown() if args.format == "markdown" else report.to_text()
+    print(rendered, end="")
+    return 0
+
+
 def cmd_info(args) -> int:
     """``repro info``: structural statistics of a matrix."""
     from repro.order import bandwidth
@@ -275,6 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chrome trace_event file or plain JSON document")
     p_trace.add_argument("--output", default="trace.json", help="output path")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_rep = sub.add_parser(
+        "report", help="render or compare unified run reports (JSON)"
+    )
+    p_rep.add_argument(
+        "path", help="run-report JSON (also accepts trace/bench documents)"
+    )
+    p_rep.add_argument("--format", choices=("text", "markdown"), default="text")
+    p_rep.add_argument(
+        "--compare", metavar="OTHER",
+        help="diff OTHER against PATH (PATH is the baseline); exit 1 on regression",
+    )
+    p_rep.add_argument(
+        "--tol", action="append", metavar="NAME=REL",
+        help="per-metric relative tolerance for --compare (repeatable)",
+    )
+    p_rep.add_argument(
+        "--default-rel", type=float, default=0.0,
+        help="relative tolerance for metrics without an explicit --tol",
+    )
+    p_rep.add_argument(
+        "--only-failures", action="store_true",
+        help="print only out-of-tolerance rows of the comparison",
+    )
+    p_rep.set_defaults(fn=cmd_report)
 
     p_info = sub.add_parser("info", help="matrix statistics")
     add_common(p_info, with_solver=False)

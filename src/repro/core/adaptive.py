@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.fsai import compute_g_values
 from repro.errors import ShapeError
+from repro.instrument import get_metrics
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import SparsityPattern
 
@@ -82,10 +83,13 @@ def fspai_pattern(
     if mat.nrows != mat.ncols:
         raise ShapeError("FSPAI needs a square matrix")
     at_rows: list[np.ndarray] = [mat.row(i)[0] for i in range(n)]
+    metrics = get_metrics()
+    steps_hist = metrics.histogram("fspai.steps_per_row") if metrics.enabled else None
 
     rows_out: list[np.ndarray] = []
     for i in range(n):
         pattern = np.array([i], dtype=np.int64)
+        steps_taken = 0
         for _ in range(options.max_steps):
             y = _solve_local(mat, pattern)
             # candidates: strictly-lower neighbours (in A) of the current
@@ -108,9 +112,14 @@ def fspai_pattern(
                 break
             order = np.argsort(-tau, kind="stable")[: options.per_step]
             pattern = np.unique(np.concatenate([pattern, cand[order]]))
+            steps_taken += 1
+        if steps_hist is not None:
+            steps_hist.observe(steps_taken)
         rows_out.append(np.sort(pattern))
     indptr = np.zeros(n + 1, dtype=np.int64)
     indptr[1:] = np.cumsum([r.size for r in rows_out])
+    if metrics.enabled:
+        metrics.gauge("fspai.pattern_nnz").set(int(indptr[-1]))
     return SparsityPattern(
         (n, n), indptr, np.concatenate(rows_out), check=False
     )

@@ -106,6 +106,88 @@ def supports_workspace(apply_m: PrecondFn | None) -> bool:
     return "out" in params and "workspace" in params
 
 
+#: Flight-recorder emission contract, parsed by :mod:`repro.observe.flight`.
+#: The numbers are duplicated there on purpose: core must stay importable
+#: without the observe layer, so neither package imports the other.
+TRUE_RESIDUAL_INTERVAL = 25
+DIVERGENCE_FACTOR = 10.0
+
+
+class _FlightProbe:
+    """Emission side of the solver flight recorder.
+
+    One instance per traced solve.  Emits a ``flight.iteration`` instant
+    event per iteration, an explicit true-residual drift check
+    (``‖b − A·x‖₂``) every :data:`TRUE_RESIDUAL_INTERVAL` iterations, and a
+    one-shot ``flight.divergence`` the first time the residual exceeds
+    :data:`DIVERGENCE_FACTOR` times the initial norm.  Construct only when
+    ``tracer.enabled`` is true — hot loops then pay a single
+    ``probe is not None`` test per iteration when tracing is off.
+
+    The drift check costs one extra SpMV, charged to the solve's
+    :class:`CommTracker` like any other (so traced halo spans and tracker
+    accounting stay equal).  It exercises the *same* halo schedule as the
+    solve, so the invariance auditor's edge sets and per-update byte counts
+    are unchanged by observation.
+    """
+
+    __slots__ = ("tracer", "solver", "mat", "b", "norm0", "tracker", "diverged")
+
+    def __init__(
+        self,
+        tracer,
+        solver: str,
+        mat: DistMatrix,
+        b: DistVector,
+        norm0: float,
+        tracker: CommTracker | None = None,
+    ):
+        self.tracer = tracer
+        self.solver = solver
+        self.mat = mat
+        self.b = b
+        self.norm0 = norm0
+        self.tracker = tracker
+        self.diverged = False
+
+    def iteration(self, index: int, residual: float, x: DistVector, **coeffs) -> None:
+        """Record iteration ``index`` ending with ``residual`` and iterate ``x``.
+
+        ``coeffs`` carries the recurrence breakdown (``alpha=``, ``beta=`` /
+        ``omega=``) and rides in the event tags.
+        """
+        self.tracer.event(
+            "flight.iteration",
+            solver=self.solver,
+            index=index,
+            residual=residual,
+            **coeffs,
+        )
+        if (index + 1) % TRUE_RESIDUAL_INTERVAL == 0:
+            ax = self.mat.spmv(x, self.tracker)
+            true_res = self.b.copy().axpy(-1.0, ax).norm2(self.tracker)
+            drift = abs(true_res - residual) / self.norm0 if self.norm0 else 0.0
+            self.tracer.event(
+                "flight.true_residual",
+                solver=self.solver,
+                index=index,
+                true_residual=true_res,
+                recurrence_residual=residual,
+                drift=drift,
+            )
+        if not self.diverged and (
+            not np.isfinite(residual) or residual > DIVERGENCE_FACTOR * self.norm0 > 0
+        ):
+            self.diverged = True
+            self.tracer.event(
+                "flight.divergence",
+                solver=self.solver,
+                index=index,
+                residual=residual,
+                initial=self.norm0,
+            )
+
+
 @dataclass
 class CGResult:
     """Outcome of a CG solve.
@@ -212,6 +294,11 @@ def pcg(
         alphas: list[float] = []
         betas: list[float] = []
         iter_counter = metrics.counter("pcg.iterations")
+        probe = (
+            _FlightProbe(tracer, "pcg", mat, b, norm0, tracker)
+            if tracer.enabled
+            else None
+        )
         for _ in range(max_iterations):
             if history[-1] <= target:
                 converged = True
@@ -242,6 +329,8 @@ def pcg(
                 d = _direction_update(z, beta, d)
                 alphas.append(alpha)
                 betas.append(beta)
+                if probe is not None:
+                    probe.iteration(iterations, history[-1], x, alpha=alpha, beta=beta)
                 iterations += 1
                 iter_counter.inc()
 

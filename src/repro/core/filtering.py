@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.instrument import get_metrics
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import SparsityPattern
 
@@ -126,6 +127,7 @@ def dynamic_filter_for_rank(
     *,
     band: tuple[float, float] = (0.95, 1.05),
     max_bisection: int = 30,
+    monitor=None,
 ) -> float:
     """Alg. 4 for one rank: adjust the filter until load enters the band.
 
@@ -134,22 +136,31 @@ def dynamic_filter_for_rank(
     overloaded ranks (load above the band) adjust; the filter never drops
     below ``initial_filter`` because base entries dominate underloaded ranks
     and cannot be recovered by filtering.
+
+    ``monitor``, when given, is called as ``monitor(step, filter, load)`` at
+    the initial evaluation (``step=0``) and after every bisection step — the
+    load-balance monitor (:mod:`repro.observe.balance`) records these as the
+    rank's bisection trajectory.
     """
     lo_band, hi_band = band
     if average_count <= 0:
         return initial_filter
     imb = _count_kept(base_count, ext_ratios, initial_filter) / average_count
+    if monitor is not None:
+        monitor(0, initial_filter, imb)
     if imb <= hi_band:
         return initial_filter
     prev_filter = initial_filter
     new_filter = initial_filter
-    for _ in range(max_bisection):
+    for step in range(1, max_bisection + 1):
         if imb > 1.0:
             prev_filter = new_filter
             new_filter = new_filter * 2 if new_filter > 0 else 1e-8
         else:
             new_filter = (new_filter + prev_filter) / 2.0
         imb = _count_kept(base_count, ext_ratios, new_filter) / average_count
+        if monitor is not None:
+            monitor(step, new_filter, imb)
         if lo_band <= imb <= hi_band:
             break
         # all extension entries filtered and still overloaded: nothing more
@@ -164,26 +175,47 @@ def compute_dynamic_filters(
     ext_ratios_per_rank: list[np.ndarray],
     spec: FilterSpec,
 ) -> np.ndarray:
-    """Per-rank filter values; static specs return the uniform value."""
+    """Per-rank filter values; static specs return the uniform value.
+
+    When metrics are enabled (:func:`repro.instrument.get_metrics`), each
+    rank's bisection is recorded for the load-balance monitor: a
+    ``filter.bisection.load`` histogram (the load at every step, initial
+    evaluation included), a ``filter.bisection.steps`` counter, and final
+    ``filter.value`` / ``filter.load`` gauges — all tagged ``rank=r``.
+    """
     nparts = len(ext_ratios_per_rank)
     if not spec.dynamic or nparts == 1:
         return np.full(nparts, spec.value, dtype=np.float64)
     counts = static_filter_counts(base_counts, ext_ratios_per_rank, spec.value)
     average = float(counts.mean())
-    return np.array(
-        [
-            dynamic_filter_for_rank(
-                int(b),
-                r,
-                spec.value,
-                average,
-                band=spec.band,
-                max_bisection=spec.max_bisection,
+    metrics = get_metrics()
+    filters = np.empty(nparts, dtype=np.float64)
+    for rank, (b, r) in enumerate(zip(base_counts, ext_ratios_per_rank)):
+        if metrics.enabled:
+            load_hist = metrics.histogram("filter.bisection.load", rank=rank)
+            step_counter = metrics.counter("filter.bisection.steps", rank=rank)
+
+            def monitor(step, filt, load, _hist=load_hist, _steps=step_counter):
+                _hist.observe(load)
+                if step > 0:
+                    _steps.inc()
+        else:
+            monitor = None
+        filters[rank] = dynamic_filter_for_rank(
+            int(b),
+            r,
+            spec.value,
+            average,
+            band=spec.band,
+            max_bisection=spec.max_bisection,
+            monitor=monitor,
+        )
+        if metrics.enabled and average > 0:
+            metrics.gauge("filter.value", rank=rank).set(float(filters[rank]))
+            metrics.gauge("filter.load", rank=rank).set(
+                _count_kept(int(b), r, float(filters[rank])) / average
             )
-            for b, r in zip(base_counts, ext_ratios_per_rank)
-        ],
-        dtype=np.float64,
-    )
+    return filters
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.cg import (
     CGResult,
     PrecondLike,
+    _FlightProbe,
     resolve_precond,
     resolve_workspace,
     supports_workspace,
@@ -95,6 +96,11 @@ def bicgstab(
     iterations = 0
     tracer = get_tracer()
     iter_counter = get_metrics().counter("bicgstab.iterations")
+    probe = (
+        _FlightProbe(tracer, "bicgstab", mat, b, norm0, tracker)
+        if tracer.enabled
+        else None
+    )
     for _ in range(max_iterations):
         if history[-1] <= target:
             converged = True
@@ -127,6 +133,8 @@ def bicgstab(
             if s.norm2(tracker) <= target:
                 x.axpy(alpha, y)
                 history.append(s.norm2(tracker))
+                if probe is not None:
+                    probe.iteration(iterations, history[-1], x, alpha=alpha, omega=omega)
                 iterations += 1
                 iter_counter.inc()
                 converged = True
@@ -147,6 +155,8 @@ def bicgstab(
             else:
                 r = s.copy().axpy(-omega, t)
             history.append(r.norm2(tracker))
+            if probe is not None:
+                probe.iteration(iterations, history[-1], x, alpha=alpha, omega=omega)
             iterations += 1
             iter_counter.inc()
             if omega == 0.0:
@@ -278,6 +288,11 @@ def pipelined_pcg(
     iterations = 0
     tracer = get_tracer()
     iter_counter = get_metrics().counter("pipelined_pcg.iterations")
+    probe = (
+        _FlightProbe(tracer, "pipelined_pcg", mat, b, norm0, tracker)
+        if tracer.enabled
+        else None
+    )
     for _ in range(max_iterations):
         if history[-1] <= target or delta == 0 or not np.isfinite(alpha):
             break
@@ -291,6 +306,8 @@ def pipelined_pcg(
             with tracer.span("pcg.dot", fused=3):
                 rr, gamma_new, delta = fused_dots((r, r), (r, u), (w, u))
             history.append(float(np.sqrt(max(rr, 0.0))))
+            if probe is not None:
+                probe.iteration(iterations, history[-1], x, alpha=alpha)
             iterations += 1
             iter_counter.inc()
             if history[-1] <= target:

@@ -158,11 +158,18 @@ class HaloSchedule:
         one ``halo.exchange`` child per receiving rank (tagged ``rank`` and
         ``bytes``, matching the tracker's accounting exactly) wrapping
         ``halo.pack`` / ``halo.unpack`` children per message.
+
+        With metrics enabled, every message also increments per-sender-rank
+        ``halo.bytes_sent`` / ``halo.msgs`` counters — identically on the
+        legacy (allocating) and ``out=`` paths, so the invariance auditor
+        sees the same accounting regardless of which kernel path ran.
         """
         tracer = get_tracer()
         if tracer.enabled:
             return self._update_traced(x_parts, tracker, tracer, out)
         part = self.partition
+        metrics = get_metrics()
+        record = metrics.enabled
         halos = self._recv_buffers(out)
         for p in range(part.nparts):
             for q, ids in self.recv_from[p].items():
@@ -172,6 +179,9 @@ class HaloSchedule:
                 halos[p][self.recv_pos[p][q]] = values
                 if tracker is not None:
                     tracker.record_p2p(q, p, 8 * ids.size)
+                if record:
+                    metrics.counter("halo.bytes_sent", rank=q).inc(8 * int(ids.size))
+                    metrics.counter("halo.msgs", rank=q).inc()
         return halos
 
     def _recv_buffers(self, out: list[np.ndarray] | None) -> list[np.ndarray]:
@@ -218,6 +228,9 @@ class HaloSchedule:
                             halos[p][self.recv_pos[p][q]] = values
                         if tracker is not None:
                             tracker.record_p2p(q, p, nbytes)
+                        if metrics.enabled:
+                            metrics.counter("halo.bytes_sent", rank=q).inc(nbytes)
+                            metrics.counter("halo.msgs", rank=q).inc()
         metrics.counter("halo.updates").inc()
         metrics.counter("halo.bytes").inc(total_bytes)
         return halos

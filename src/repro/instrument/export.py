@@ -56,10 +56,20 @@ def write_json_trace(path, tracer: Tracer, metrics=None, *, indent: int | None =
 
 
 def read_json_trace(path) -> dict:
-    """Load a document written by :func:`write_json_trace` (round-trip)."""
+    """Load a document written by :func:`write_json_trace` (round-trip).
+
+    Validates both the format marker and the schema version: documents from
+    a newer writer raise instead of being silently misread.
+    """
     doc = json.loads(Path(path).read_text())
     if doc.get("format") != "repro-trace":
         raise ValueError(f"{path}: not a repro trace document")
+    version = doc.get("version")
+    if version is not None and version > TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: trace schema version {version} is newer than this "
+            f"build's reader (version {TRACE_FORMAT_VERSION})"
+        )
     return doc
 
 

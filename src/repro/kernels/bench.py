@@ -181,10 +181,22 @@ def run_suite(
     return result
 
 
-def write_suite(result: dict, path: str | Path) -> Path:
-    """Write a suite result as pretty-printed JSON; returns the path."""
+def write_suite(result: dict, path: str | Path, *, report: bool = True) -> Path:
+    """Write a suite result as pretty-printed JSON; returns the path.
+
+    Unless ``report=False``, a companion :class:`repro.observe.RunReport`
+    document is written next to it (``<stem>.report.json``) — the comparable
+    form consumed by ``repro report --compare`` and
+    ``scripts/check_bench_regression.py``.
+    """
     path = Path(path)
     path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if report:
+        from repro.observe import RunReport
+
+        RunReport.from_bench(result, label=path.stem).save(
+            path.with_suffix(".report.json")
+        )
     return path
 
 

@@ -105,3 +105,20 @@ class CommTracker:
     def same_edges(self, other: "CommTracker") -> bool:
         """True when both trackers saw the same communication graph."""
         return self.edges() == other.edges()
+
+    def same_bytes(self, other: "CommTracker") -> bool:
+        """True when both trackers saw identical per-edge p2p byte counts.
+
+        Strictly stronger than :meth:`same_edges` — the byte-for-byte form of
+        the paper's invariance claim.  The auditor
+        (:func:`repro.observe.audit.compare_snapshots`) reports *which* edges
+        differ when this is False.
+        """
+        return self.edge_bytes() == other.edge_bytes()
+
+    def edge_bytes(self, edge: tuple[int, int] | None = None):
+        """Bytes per directed edge: all of them (dict), or one edge's total."""
+        with self._lock:
+            if edge is not None:
+                return self.p2p_bytes.get((int(edge[0]), int(edge[1])), 0)
+            return {k: v for k, v in self.p2p_bytes.items() if v > 0}

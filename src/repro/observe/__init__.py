@@ -1,0 +1,74 @@
+"""Observability layer: interpretation on top of :mod:`repro.instrument`.
+
+PR 1 gave the repo raw sinks (spans, counters, trace exports); this package
+turns them into artifacts that answer the paper's questions directly:
+
+* :mod:`repro.observe.flight` — the solver flight recorder:
+  :class:`FlightRecord` parses per-iteration ``flight.*`` events (residual
+  norms, alpha/beta, true-residual drift checks, divergence) out of a tracer
+  and runs stagnation/divergence detectors over them;
+* :mod:`repro.observe.audit` — the communication-invariance auditor:
+  :class:`CommAuditor` / :func:`audit_preconditioners` prove or refute, with
+  the offending edges, that two preconditioners exchange identical halo
+  traffic (the paper's §4 claim as an executable check);
+* :mod:`repro.observe.balance` — the load-balance monitor:
+  :class:`BalanceReport` tracks per-rank nonzero imbalance across dynamic
+  filtering's bisection (Alg. 4's ±5 % band);
+* :mod:`repro.observe.report` — :class:`RunReport`, a versioned JSON
+  aggregate of all of the above with text/markdown renderers, a ``repro
+  report`` CLI subcommand, and a :meth:`RunReport.compare` regression gate.
+
+Import layering: this package sits *above* :mod:`repro.instrument` and
+*below* nothing — it must never import :mod:`repro.core` (solvers emit plain
+tracer events; observe only reads them back), so the core package stays
+importable without the observability layer and no cycle can form.
+"""
+
+from repro.observe.audit import (
+    CommAuditor,
+    InvarianceVerdict,
+    PrecondAudit,
+    audit_preconditioners,
+    audit_schedules,
+    compare_snapshots,
+    schedule_snapshot,
+)
+from repro.observe.balance import BalanceReport, balance_report
+from repro.observe.flight import (
+    DIVERGENCE_FACTOR,
+    TRUE_RESIDUAL_INTERVAL,
+    DriftCheck,
+    FlightRecord,
+)
+from repro.observe.report import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    MetricDelta,
+    ReportComparison,
+    ReportError,
+    RunReport,
+    flatten_metrics,
+)
+
+__all__ = [
+    "TRUE_RESIDUAL_INTERVAL",
+    "DIVERGENCE_FACTOR",
+    "DriftCheck",
+    "FlightRecord",
+    "InvarianceVerdict",
+    "PrecondAudit",
+    "CommAuditor",
+    "compare_snapshots",
+    "schedule_snapshot",
+    "audit_schedules",
+    "audit_preconditioners",
+    "BalanceReport",
+    "balance_report",
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "ReportError",
+    "MetricDelta",
+    "ReportComparison",
+    "RunReport",
+    "flatten_metrics",
+]

@@ -1,0 +1,176 @@
+"""Load-balance monitor for dynamic filtering (Alg. 4, ±5 % band).
+
+Dynamic filtering's promise is numerical: after the per-rank bisection, each
+rank's stored-entry count sits within the tolerated band around the global
+average.  :func:`repro.core.filtering.compute_dynamic_filters` records, when
+metrics are enabled, the full bisection trajectory per rank:
+
+* ``filter.bisection.load`` (histogram, ``rank=r``) — relative load ``imb``
+  observed at each bisection step, the initial evaluation included;
+* ``filter.bisection.steps`` (counter, ``rank=r``) — bisection iterations;
+* ``filter.value`` / ``filter.load`` (gauges, ``rank=r``) — the final
+  per-rank filter and the relative load it achieves.
+
+:class:`BalanceReport` reads those instruments (or raw per-rank counts) back
+into a verdict: per-rank loads, the imbalance index, whether every rank ended
+inside the band, and each rank's trajectory for plotting or rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BalanceReport", "balance_report"]
+
+#: Metric names written by ``compute_dynamic_filters`` (emission contract).
+LOAD_HISTOGRAM = "filter.bisection.load"
+STEPS_COUNTER = "filter.bisection.steps"
+FILTER_GAUGE = "filter.value"
+LOAD_GAUGE = "filter.load"
+
+DEFAULT_BAND = (0.95, 1.05)
+
+
+@dataclass
+class BalanceReport:
+    """Per-rank load balance of one preconditioner build.
+
+    ``loads`` are relative (rank entries over the global average, Alg. 4's
+    ``imb``); ``trajectories`` maps rank -> the sequence of loads the
+    bisection visited (empty when built from counts alone).
+    """
+
+    loads: list[float] = field(default_factory=list)
+    band: tuple[float, float] = DEFAULT_BAND
+    filters: list[float] | None = None
+    trajectories: dict[int, list[float]] = field(default_factory=dict)
+    steps: dict[int, int] = field(default_factory=dict)
+
+    # construction ------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        nnz_per_rank,
+        *,
+        band: tuple[float, float] = DEFAULT_BAND,
+        filters=None,
+    ) -> "BalanceReport":
+        """Build from per-rank stored-entry counts."""
+        counts = [float(c) for c in nnz_per_rank]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        loads = [c / mean if mean else 1.0 for c in counts]
+        return cls(
+            loads=loads,
+            band=band,
+            filters=None if filters is None else [float(f) for f in filters],
+        )
+
+    @classmethod
+    def from_precond(
+        cls, precond, *, band: tuple[float, float] = DEFAULT_BAND
+    ) -> "BalanceReport":
+        """Build from any object with ``nnz_per_rank()`` (and optionally
+        ``filters``), e.g. :class:`repro.core.precond.Preconditioner`."""
+        return cls.from_counts(
+            precond.nnz_per_rank(), band=band, filters=getattr(precond, "filters", None)
+        )
+
+    @classmethod
+    def from_metrics(
+        cls, metrics, *, band: tuple[float, float] = DEFAULT_BAND
+    ) -> "BalanceReport":
+        """Build from the ``filter.*`` instruments a traced
+        ``compute_dynamic_filters`` call recorded."""
+        report = cls(band=band)
+        by_rank: dict[int, float] = {}
+        for gauge in metrics.find(LOAD_GAUGE):
+            if "rank" in gauge.tags and gauge.value is not None:
+                by_rank[int(gauge.tags["rank"])] = float(gauge.value)
+        report.loads = [by_rank[r] for r in sorted(by_rank)]
+        filt_by_rank: dict[int, float] = {}
+        for gauge in metrics.find(FILTER_GAUGE):
+            if "rank" in gauge.tags and gauge.value is not None:
+                filt_by_rank[int(gauge.tags["rank"])] = float(gauge.value)
+        if filt_by_rank:
+            report.filters = [filt_by_rank[r] for r in sorted(filt_by_rank)]
+        for hist in metrics.find(LOAD_HISTOGRAM):
+            if "rank" in hist.tags:
+                report.trajectories[int(hist.tags["rank"])] = list(hist.values)
+        for counter in metrics.find(STEPS_COUNTER):
+            if "rank" in counter.tags:
+                report.steps[int(counter.tags["rank"])] = int(counter.value)
+        return report
+
+    # queries -----------------------------------------------------------
+    @property
+    def ranks(self) -> int:
+        return len(self.loads)
+
+    @property
+    def imbalance(self) -> float:
+        """Max relative load over min — 1.0 is perfectly balanced."""
+        if not self.loads or min(self.loads) == 0:
+            return 1.0
+        return max(self.loads) / min(self.loads)
+
+    @property
+    def within_band(self) -> bool:
+        """True iff every rank's final load is inside the tolerated band."""
+        lo, hi = self.band
+        return all(lo <= load <= hi for load in self.loads)
+
+    def offenders(self) -> list[int]:
+        """Ranks whose final load falls outside the band."""
+        lo, hi = self.band
+        return [r for r, load in enumerate(self.loads) if not lo <= load <= hi]
+
+    def to_dict(self) -> dict:
+        return {
+            "ranks": self.ranks,
+            "band": list(self.band),
+            "loads": list(self.loads),
+            "filters": None if self.filters is None else list(self.filters),
+            "imbalance": self.imbalance,
+            "within_band": self.within_band,
+            "offenders": self.offenders(),
+            "trajectories": {str(r): v for r, v in sorted(self.trajectories.items())},
+            "steps": {str(r): v for r, v in sorted(self.steps.items())},
+        }
+
+    def render(self) -> str:
+        lo, hi = self.band
+        lines = [
+            f"load balance over {self.ranks} rank(s), band [{lo:g}, {hi:g}]: "
+            f"{'OK' if self.within_band else 'IMBALANCED'}"
+        ]
+        for rank, load in enumerate(self.loads):
+            marker = "" if lo <= load <= hi else "  <-- outside band"
+            filt = (
+                f", filter={self.filters[rank]:.4g}"
+                if self.filters is not None and rank < len(self.filters)
+                else ""
+            )
+            steps = self.steps.get(rank)
+            trail = f", {steps} bisection step(s)" if steps else ""
+            lines.append(f"  rank {rank}: load {load:.4f}{filt}{trail}{marker}")
+        lines.append(f"  imbalance (max/min): {self.imbalance:.4f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BalanceReport(ranks={self.ranks}, imbalance={self.imbalance:.4f}, "
+            f"within_band={self.within_band})"
+        )
+
+
+def balance_report(source, *, band: tuple[float, float] = DEFAULT_BAND) -> BalanceReport:
+    """Build a :class:`BalanceReport` from whatever describes the load.
+
+    Accepts a preconditioner-like object (``nnz_per_rank()``), a metrics
+    registry (``find``), or a plain sequence of per-rank entry counts.
+    """
+    if hasattr(source, "nnz_per_rank"):
+        return BalanceReport.from_precond(source, band=band)
+    if hasattr(source, "find"):
+        return BalanceReport.from_metrics(source, band=band)
+    return BalanceReport.from_counts(source, band=band)

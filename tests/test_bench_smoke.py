@@ -66,3 +66,77 @@ def test_check_no_alloc_script_fails_on_tight_baseline(tmp_path):
     )
     assert proc.returncode == 1
     assert "FAIL" in proc.stderr
+
+
+def test_write_suite_emits_companion_report(tmp_path):
+    result = run_suite(sizes=(12,), reps=1, quick=True)
+    path = write_suite(result, tmp_path / "BENCH_kernels.json")
+    from repro.observe import RunReport
+
+    report = RunReport.load(Path(path).with_suffix(".report.json"))
+    assert report.metrics["bench.pcg_hot_allocs"] == 0.0
+    assert "bench" in report.sections
+
+
+def test_check_no_alloc_emits_run_report(tmp_path):
+    out = tmp_path / "gate.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_no_alloc.py"),
+         "--grid", "16", "--report", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    from repro.observe import RunReport
+
+    report = RunReport.load(out)
+    assert report.metrics["kernels.hot_allocs_per_iteration"] == 0.0
+    assert report.meta["label"] == "no-alloc-gate"
+
+
+def test_bench_regression_gate_passes_on_recorded_fixture():
+    fixture = REPO_ROOT / "tests" / "fixtures" / "BENCH_kernels_recorded.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_bench_regression.py"),
+         "--bench", str(fixture)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK: benchmark counters within tolerance" in proc.stdout
+
+
+def test_bench_regression_gate_fails_on_alloc_regression(tmp_path):
+    fixture = REPO_ROOT / "tests" / "fixtures" / "BENCH_kernels_recorded.json"
+    doc = json.loads(fixture.read_text())
+    doc["summary"]["pcg_hot_allocs"] = 3
+    doc["pcg"]["workspace_allocs_hot"] = 3
+    mutated = tmp_path / "BENCH_regressed.json"
+    mutated.write_text(json.dumps(doc))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_bench_regression.py"),
+         "--bench", str(mutated)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "FAIL" in proc.stderr
+    assert "bench.pcg_hot_allocs" in proc.stdout
+
+
+def test_bench_regression_gate_rejects_malformed_input(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_bench_regression.py"),
+         "--bench", str(bad)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 2
+    assert "error:" in proc.stderr
+    assert "Traceback" not in proc.stderr

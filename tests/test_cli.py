@@ -154,3 +154,75 @@ class TestTrace:
             s["tags"]["bytes"] for s in doc["spans"] if s["name"] == "halo.exchange"
         )
         assert f"(tracker: {halo} bytes)" in report
+
+
+class TestReport:
+    def _write_report(self, tmp_path, name="run.json", **metrics):
+        from repro.observe import RunReport
+
+        report = RunReport(meta={"label": name.rsplit(".", 1)[0]})
+        for key, value in (metrics or {"pcg.iterations": 42.0}).items():
+            report.add_metric(key, value)
+        return report.save(tmp_path / name)
+
+    def test_render_text(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run report: run" in out
+        assert "pcg.iterations" in out
+
+    def test_render_markdown(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        assert main(["report", str(path), "--format", "markdown"]) == 0
+        assert "# Run report — run" in capsys.readouterr().out
+
+    def test_missing_file_is_clear_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_json_is_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{definitely not json")
+        assert main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_future_schema_version_is_clear_error(self, tmp_path, capsys):
+        import json as _json
+
+        path = tmp_path / "future.json"
+        path.write_text(
+            _json.dumps({"format": "repro-run-report", "version": 99, "meta": {}})
+        )
+        assert main(["report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "version 99" in err
+
+    def test_compare_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        base = self._write_report(tmp_path, "base.json", **{"pcg.iterations": 40.0})
+        same = self._write_report(tmp_path, "same.json", **{"pcg.iterations": 40.0})
+        worse = self._write_report(tmp_path, "worse.json", **{"pcg.iterations": 80.0})
+        assert main(["report", str(base), "--compare", str(same)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["report", str(base), "--compare", str(worse)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # a generous tolerance turns the failure into a pass
+        assert main(
+            ["report", str(base), "--compare", str(worse),
+             "--tol", "pcg.iterations=1.5"]
+        ) == 0
+
+    def test_compare_bad_tolerance_spec(self, tmp_path, capsys):
+        base = self._write_report(tmp_path, "base.json")
+        other = self._write_report(tmp_path, "other.json")
+        for spec in ("pcg.iterations", "=0.5", "pcg.iterations=abc"):
+            assert main(
+                ["report", str(base), "--compare", str(other), "--tol", spec]
+            ) == 2
+            assert "NAME=RELATIVE_TOLERANCE" in capsys.readouterr().err
