@@ -126,9 +126,64 @@ def run_report(label: str = "bench-harness"):
     return report
 
 
-def write_run_report(path, label: str = "bench-harness"):
-    """Write :func:`run_report` as JSON; returns the path written."""
-    return run_report(label).save(path)
+def write_run_report(path, label: str = "bench-harness", *, timeline=None):
+    """Write :func:`run_report` as JSON; returns the path written.
+
+    With a :class:`repro.observe.Timeline` the report gains its timeline
+    section and a ``<stem>.timeline.json`` companion lands next to it, so a
+    benchmark run ships the cross-rank reconstruction alongside its tables.
+    """
+    from pathlib import Path
+
+    report = run_report(label)
+    path = Path(path)
+    if timeline is not None:
+        report.attach_timeline(timeline)
+        timeline.save(path.with_suffix(".timeline.json"))
+    return report.save(path)
+
+
+def spmd_timeline(
+    name: str,
+    *,
+    large: bool = False,
+    method: str = "comm",
+    line_bytes: int = 64,
+    filter_value: float = 0.01,
+    dynamic: bool = True,
+    rtol: float = PAPER_RTOL,
+    max_iterations: int = 500,
+):
+    """Run one SPMD solve under a fresh tracer; returns its Timeline.
+
+    Unlike the cached :func:`solve` (rank-serial ``pcg``), this drives
+    :func:`repro.core.spmd_cg` through :mod:`repro.mpisim` threads so the
+    trace carries real cross-rank sends, waits and reductions — the input
+    :class:`repro.observe.Timeline` needs for critical-path analysis.
+    """
+    from repro.dist import spmd_cg
+    from repro.observe import Timeline
+
+    prob = problem(name, large)
+    pre = preconditioner(
+        name, large=large, method=method, line_bytes=line_bytes,
+        filter_value=filter_value, dynamic=dynamic,
+    )
+    tracer = Tracer()
+    with tracing(tracer, MetricsRegistry()):
+        _, iterations = spmd_cg(
+            prob.da, prob.b, precond_pair=(pre.g, pre.gt),
+            rtol=rtol, max_iterations=max_iterations,
+        )
+    return Timeline.from_tracer(
+        tracer,
+        meta={
+            "case": name,
+            "method": method,
+            "ranks": prob.part.nparts,
+            "iterations": iterations,
+        },
+    )
 
 
 def scale() -> float:

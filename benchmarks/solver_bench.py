@@ -1,0 +1,158 @@
+"""Solve-level benchmark trajectory: ``BENCH_solver.json``.
+
+Where ``BENCH_kernels.json`` (PR 2) tracks kernel micro-counters, this suite
+records the *end-to-end* solver facts the paper argues about — iterations,
+pattern growth, per-rank imbalance, modeled time per machine — for each
+preconditioner pattern on a subset of the Table 1 catalog.  Every number is
+deterministic (iteration counts and the analytic cost model, no wall
+clocks), so the committed artifact is byte-stable across machines and
+``scripts/check_bench_regression.py --solver`` can gate it exactly.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/solver_bench.py            # BENCH_solver.json
+    PYTHONPATH=src python benchmarks/solver_bench.py --quick    # fewer matrices
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import harness  # noqa: E402 — sibling module, shared caches
+from repro.core import check_comm_invariance, imbalance_index  # noqa: E402
+from repro.perfmodel import MACHINES  # noqa: E402
+
+#: Catalog subset: small enough for CI, varied enough to show the tradeoff
+#: (msdoor / af_shell7 have clear FSAIE iteration reductions).
+DEFAULT_MATRICES = ("PFlow_742", "Fault_639", "msdoor", "af_shell7")
+QUICK_MATRICES = ("PFlow_742", "msdoor")
+METHODS = ("fsai", "fsaie", "comm")
+MODEL_MACHINE = "skylake"
+
+
+def run_solver_suite(
+    matrices=DEFAULT_MATRICES,
+    *,
+    filter_value: float = 0.01,
+    dynamic: bool = True,
+    quick: bool = False,
+) -> dict:
+    """Solve every (matrix, method) pair; returns the suite document.
+
+    The ``summary`` mapping is the flat, comparable surface (consumed by
+    :meth:`repro.observe.RunReport.from_solver_bench`): iteration counts,
+    nnz growth, imbalance and modeled milliseconds per configuration, plus
+    a 0/1 communication-invariance flag per matrix.
+    """
+    if quick:
+        matrices = QUICK_MATRICES
+    machine = MACHINES[MODEL_MACHINE]
+    solver: dict = {}
+    summary: dict = {}
+    for name in matrices:
+        prob = harness.problem(name)
+        per_method: dict = {}
+        preconds = {}
+        for method in METHODS:
+            pre = harness.preconditioner(
+                name, method=method, line_bytes=machine.cache_line_bytes,
+                filter_value=filter_value, dynamic=dynamic,
+            )
+            result = harness.solve(
+                name, method=method, line_bytes=machine.cache_line_bytes,
+                filter_value=filter_value, dynamic=dynamic,
+            )
+            modeled = harness.modeled_time(
+                name, machine, method=method,
+                filter_value=filter_value, dynamic=dynamic,
+            )
+            preconds[method] = pre
+            per_method[method] = {
+                "pattern": pre.name,
+                "iterations": result.iterations,
+                "converged": bool(result.converged),
+                "nnz": int(pre.nnz),
+                "nnz_increase_percent": float(pre.nnz_increase_percent),
+                "imbalance": float(imbalance_index(pre.nnz_per_rank())),
+                "modeled_ms": float(modeled * 1e3),
+            }
+            summary[f"{name}.{method}.iterations"] = result.iterations
+            summary[f"{name}.{method}.nnz"] = int(pre.nnz)
+            summary[f"{name}.{method}.modeled_ms"] = float(modeled * 1e3)
+        invariant = check_comm_invariance(preconds["fsai"], preconds["comm"])
+        summary[f"{name}.comm.invariant"] = int(invariant)
+        solver[name] = {
+            "rows": prob.mat.nrows,
+            "nnz": prob.mat.nnz,
+            "ranks": prob.part.nparts,
+            "comm_invariant": bool(invariant),
+            "methods": per_method,
+        }
+    return {
+        "suite": "solver",
+        "config": {
+            "matrices": list(matrices),
+            "filter": filter_value,
+            "dynamic": dynamic,
+            "machine": MODEL_MACHINE,
+            "rtol": "paper",
+            "scale": harness.scale(),
+        },
+        "solver": solver,
+        "summary": summary,
+    }
+
+
+def write_solver_suite(result: dict, path, *, report: bool = True) -> Path:
+    """Write the suite JSON (and its ``.report.json`` companion)."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if report:
+        from repro.observe import RunReport
+
+        RunReport.from_solver_bench(result, label=path.stem).save(
+            path.with_suffix(".report.json")
+        )
+    return path
+
+
+def format_summary(result: dict) -> str:
+    lines = ["solver benchmarks (modeled on %s)" % result["config"]["machine"], ""]
+    header = f"{'matrix':<12} {'method':<6} {'iters':>6} {'nnz':>8} {'+nnz%':>7} {'model ms':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, entry in sorted(result["solver"].items()):
+        for method in METHODS:
+            m = entry["methods"][method]
+            lines.append(
+                f"{name:<12} {method:<6} {m['iterations']:>6} {m['nnz']:>8} "
+                f"{m['nnz_increase_percent']:>7.1f} {m['modeled_ms']:>9.3f}"
+            )
+        lines.append(
+            f"{'':<12} comm invariant: {entry['comm_invariant']} "
+            f"({entry['ranks']} ranks)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument("--quick", action="store_true", help="smaller matrix subset")
+    parser.add_argument("--filter", type=float, default=0.01)
+    args = parser.parse_args(argv)
+    result = run_solver_suite(filter_value=args.filter, quick=args.quick)
+    print(format_summary(result))
+    path = write_solver_suite(result, args.output)
+    print(f"\nwritten: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,10 +14,18 @@ quick run) against the recorded baseline in
 * timing-derived speedups are machine-dependent and are only checked with
   ``--check-timings`` (wide relative tolerance) — never in CI by default.
 
+Solve-level suites (``BENCH_solver.json``, see :mod:`benchmarks.solver_bench`)
+are gated too — either pass ``--solver`` or point ``--bench`` at a solver
+document and the script switches to the solver baseline and tolerances:
+iteration counts get a small absolute allowance, nnz counts and the
+communication-invariance flags gate exactly, and modeled times (analytic,
+but float-accumulated) gate with a narrow relative band.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py            # quick run
     PYTHONPATH=src python scripts/check_bench_regression.py --bench BENCH_kernels.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --solver --bench BENCH_solver.json
 """
 
 from __future__ import annotations
@@ -57,6 +65,27 @@ TIMING_METRICS = {
 #: Suite configuration of the recorded baseline (quick smoke sizes).
 BASELINE_SIZES = (12, 16)
 
+SOLVER_BASELINE = BASELINE.parent / "solver_baseline.json"
+
+
+def solver_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
+    """Per-metric tolerances for a solve-level suite, keyed off the baseline.
+
+    nnz counts and invariance flags are pure functions of the generator seed
+    and gate exactly; iteration counts additionally depend on the suite
+    configuration; modeled milliseconds come from the analytic cost model
+    (deterministic, but float-accumulated) and get a narrow relative band.
+    """
+    tolerances = {}
+    for name in baseline.metrics:
+        if name.endswith(".nnz") or name.endswith(".invariant"):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith(".iterations") and config_matches:
+            tolerances[name] = {"rel": 0.0, "abs": 2.0}
+        elif name.endswith(".modeled_ms") and check_timings:
+            tolerances[name] = {"rel": 0.1}
+    return tolerances
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -64,21 +93,20 @@ def main(argv=None) -> int:
         "--bench",
         help="existing BENCH_kernels.json to check (default: run a quick suite)",
     )
-    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument("--baseline", help="baseline report (defaults per suite kind)")
+    parser.add_argument(
+        "--solver",
+        action="store_true",
+        help="gate a solve-level suite (BENCH_solver.json) instead of kernels",
+    )
     parser.add_argument(
         "--check-timings",
         action="store_true",
-        help="also gate speedup ratios (machine-dependent; not for CI)",
+        help="also gate speedup ratios / modeled times (not for CI by default)",
     )
     args = parser.parse_args(argv)
 
     from repro.observe import ReportError, RunReport
-
-    try:
-        baseline = RunReport.load(args.baseline)
-    except ReportError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
 
     if args.bench:
         try:
@@ -86,22 +114,55 @@ def main(argv=None) -> int:
         except ReportError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        solver = args.solver or fresh.meta.get("source") == "solver-bench"
+    elif args.solver:
+        solver = True
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        from solver_bench import run_solver_suite
+
+        fresh = RunReport.from_solver_bench(
+            run_solver_suite(quick=True), label="fresh"
+        )
     else:
+        solver = False
         from repro.kernels.bench import run_suite
 
         result = run_suite(sizes=BASELINE_SIZES, reps=1, quick=True)
         fresh = RunReport.from_bench(result, label="fresh")
 
-    tolerances = dict(GATED_METRICS)
-    if fresh.meta.get("config") == baseline.meta.get("config"):
-        tolerances.update(CONFIG_METRICS)
+    try:
+        baseline = RunReport.load(
+            args.baseline or (SOLVER_BASELINE if solver else BASELINE)
+        )
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config_matches = fresh.meta.get("config") == baseline.meta.get("config")
+    if solver:
+        # quick runs cover a matrix subset; compare only on shared metrics
+        config_matches = config_matches or set(fresh.metrics) <= set(
+            baseline.metrics
+        )
+        tolerances = solver_tolerances(
+            baseline,
+            config_matches=config_matches,
+            check_timings=args.check_timings,
+        )
+        tolerances = {k: v for k, v in tolerances.items() if k in fresh.metrics}
     else:
+        tolerances = dict(GATED_METRICS)
+        if config_matches:
+            tolerances.update(CONFIG_METRICS)
+        if args.check_timings:
+            tolerances.update(TIMING_METRICS)
+    if not config_matches:
         print(
             "note: suite configs differ, skipping iteration-count gate "
             f"(baseline {baseline.meta.get('config')}, fresh {fresh.meta.get('config')})"
         )
-    if args.check_timings:
-        tolerances.update(TIMING_METRICS)
 
     gated = sorted(name for name in tolerances if name in baseline.metrics)
     comparison = baseline.compare(fresh, tolerances, metrics=gated)

@@ -204,6 +204,132 @@ def cmd_trace(args) -> int:
     return 0 if result.converged else 1
 
 
+def cmd_timeline(args) -> int:
+    """``repro timeline``: reconstruct the cross-rank timeline of an SPMD solve.
+
+    Runs the preconditioned CG fully inside the SPMD runtime (real messages,
+    one thread per rank) under tracing, merges the per-rank span streams
+    into a :class:`~repro.observe.Timeline`, and prints an ASCII per-rank
+    Gantt chart with per-rank busy/wait/slack, the critical path through
+    the halo/allreduce dependency graph, and its top-k edges.  ``--load``
+    renders a previously saved timeline (or exported trace) instead;
+    ``--json`` / ``--prom`` write the timeline document and the
+    OpenMetrics exposition.
+    """
+    from repro.analysis import format_table
+    from repro.instrument import tracing
+    from repro.observe import Timeline, halo_critical_path, timeline_samples
+    from repro.observe.prom import write_openmetrics
+
+    collected: list[dict] = []
+    if args.load:
+        timeline = Timeline.load(args.load)
+    else:
+        from repro.dist.spmd import spmd_cg
+
+        mat, part, da, b = _setup(args)
+        pre = _BUILDERS[args.method](mat, part, _options(args))
+        with tracing() as (tracer, metrics):
+            _, iterations = spmd_cg(
+                da, b, precond_pair=(pre.g, pre.gt),
+                rtol=args.rtol, max_iterations=args.max_iterations,
+            )
+        timeline = Timeline.from_tracer(
+            tracer,
+            meta={
+                "case": args.generate or args.matrix,
+                "method": pre.name,
+                "ranks": args.ranks,
+                "iterations": iterations,
+            },
+        )
+        collected = metrics.collect()
+        static = halo_critical_path(pre.g.schedule)
+        print(f"method           : {pre.name} ({iterations} iterations)")
+        print(f"static {static.render()}")
+    print(timeline.render_gantt(width=args.width))
+    summary = timeline.summary(top_k=args.top_edges)
+    rows = [
+        [
+            r,
+            f"{summary['busy_seconds'][str(r)] * 1e3:.3f}",
+            f"{summary['wait_seconds'][str(r)] * 1e3:.3f}",
+            f"{summary['slack_seconds'][str(r)] * 1e3:.3f}",
+        ]
+        for r in timeline.ranks
+    ]
+    print(format_table(["rank", "busy ms", "wait ms", "slack ms"], rows))
+    cp = summary["critical_path"]
+    print(
+        f"critical path    : {cp['length_seconds'] * 1e3:.3f} ms over "
+        f"{cp['n_segments']} segments (makespan "
+        f"{summary['makespan_seconds'] * 1e3:.3f} ms)"
+    )
+    for e in cp["top_edges"]:
+        print(
+            f"  edge {e['src']} -> {e['dst']}: {e['bytes']} B, "
+            f"blocked {e['wait_seconds'] * 1e3:.3f} ms"
+        )
+    if args.json:
+        print(f"timeline written : {timeline.save(args.json)}")
+    if args.prom:
+        samples = collected + timeline_samples(timeline)
+        print(f"openmetrics      : {write_openmetrics(args.prom, samples)}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """``repro explain``: attribution verdict for FSAI vs FSAIE vs FSAIE-Comm.
+
+    Builds and solves with each pattern, feeds achieved iterations, the
+    perfmodel prediction, cachesim misses and the invariance audit into
+    :func:`repro.observe.attribute`, and prints the verdict with named
+    suspects when achieved diverges from predicted.
+    """
+    from repro.cachesim import precond_x_misses_per_rank
+    from repro.observe import MethodFacts, attribute
+
+    mat, part, da, b = _setup(args)
+    machine = MACHINES[args.machine]
+    model = CostModel(machine, threads_per_process=args.threads)
+    preconds = {}
+    facts = []
+    for method, build in _BUILDERS.items():
+        pre = build(mat, part, _options(args))
+        preconds[method] = pre
+        result = pcg(
+            da, b, precond=pre, rtol=args.rtol, max_iterations=args.max_iterations
+        )
+        misses = precond_x_misses_per_rank(
+            pre.g, pre.gt, machine.l1.scaled(args.threads)
+        )
+        invariant = None
+        if method == "comm":
+            invariant = check_comm_invariance(preconds["fsai"], pre)
+        facts.append(
+            MethodFacts.from_objects(
+                pre,
+                result,
+                cost=model.iteration_cost(da, pre, precond_misses=misses),
+                misses=misses,
+                invariant=invariant,
+            )
+        )
+    verdict = attribute(
+        facts,
+        meta={
+            "case": args.generate or args.matrix,
+            "ranks": args.ranks,
+            "machine": args.machine,
+            "filter": args.filter,
+        },
+    )
+    print(verdict.render())
+    if args.json:
+        print(f"\nverdict written: {verdict.save(args.json)}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """``repro bench``: run the kernel microbenchmarks, write BENCH_kernels.json."""
     from repro.kernels.bench import DEFAULT_SIZES, format_summary, run_suite, write_suite
@@ -310,6 +436,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chrome trace_event file or plain JSON document")
     p_trace.add_argument("--output", default="trace.json", help="output path")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="reconstruct the cross-rank timeline of an SPMD solve "
+        "(ASCII Gantt, critical path, wait histogram)",
+    )
+    add_common(p_tl, with_solver=True)
+    p_tl.add_argument("--method", choices=sorted(_BUILDERS), default="comm")
+    p_tl.add_argument("--load", help="render a saved timeline/trace instead of running")
+    p_tl.add_argument("--json", help="write the timeline document to this path")
+    p_tl.add_argument("--prom", help="write OpenMetrics text exposition to this path")
+    p_tl.add_argument("--width", type=int, default=72, help="Gantt chart width")
+    p_tl.add_argument("--top-edges", type=int, default=5,
+                      help="number of critical edges to report")
+    p_tl.set_defaults(fn=cmd_timeline)
+
+    p_expl = sub.add_parser(
+        "explain",
+        help="performance-attribution verdict: achieved vs predicted per pattern",
+    )
+    add_common(p_expl, with_solver=True)
+    p_expl.add_argument("--json", help="write the attribution verdict to this path")
+    p_expl.set_defaults(fn=cmd_explain)
 
     p_rep = sub.add_parser(
         "report", help="render or compare unified run reports (JSON)"

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
+from repro.instrument import get_tracer
 from repro.mpisim import SUM, Comm, CommTracker, run_spmd
 
 __all__ = ["spmd_spmv", "spmd_dot", "spmd_halo_update", "spmd_cg"]
@@ -22,18 +23,46 @@ _TAG_HALO = 7_000
 
 
 def _halo_exchange(comm: Comm, mat: DistMatrix, x_local: np.ndarray) -> np.ndarray:
-    """One rank's side of the halo update; returns its halo buffer."""
+    """One rank's side of the halo update; returns its halo buffer.
+
+    With tracing enabled the exchange decomposes into ``spmd.halo.pack``
+    (gathering send payloads) and one ``spmd.halo.wait`` per incoming edge
+    (tagged with the awaited source and payload bytes) — the segments the
+    timeline layer classifies as pack/wait time.
+    """
     p = comm.rank
     sched = mat.schedule
     part = mat.partition
-    # post all sends (buffered), then receive
-    for q, ids in sched.send_to[p].items():
-        if ids.size:
-            comm.send(x_local[part.local_index[ids]], q, _TAG_HALO)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        # post all sends (buffered), then receive
+        for q, ids in sched.send_to[p].items():
+            if ids.size:
+                comm.send(x_local[part.local_index[ids]], q, _TAG_HALO)
+        halo = np.zeros(sched.ext_cols[p].size, dtype=np.float64)
+        for q, ids in sched.recv_from[p].items():
+            if ids.size:
+                values = comm.recv(q, _TAG_HALO)
+                halo[sched.recv_pos[p][q]] = values
+        return halo
+    with tracer.span("spmd.halo.pack", rank=p) as pack:
+        sends = []
+        packed_bytes = 0
+        for q, ids in sched.send_to[p].items():
+            if ids.size:
+                payload = x_local[part.local_index[ids]]
+                packed_bytes += payload.nbytes
+                sends.append((payload, q))
+        pack.set_tag("bytes", packed_bytes)
+    for payload, q in sends:
+        comm.send(payload, q, _TAG_HALO)
     halo = np.zeros(sched.ext_cols[p].size, dtype=np.float64)
     for q, ids in sched.recv_from[p].items():
         if ids.size:
-            values = comm.recv(q, _TAG_HALO)
+            with tracer.span(
+                "spmd.halo.wait", rank=p, src=q, bytes=8 * int(ids.size)
+            ):
+                values = comm.recv(q, _TAG_HALO)
             halo[sched.recv_pos[p][q]] = values
     return halo
 
@@ -101,15 +130,18 @@ def spmd_cg(
     def _prog(comm: Comm):
         p = comm.rank
         lm = mat.locals[p]
+        tracer = get_tracer()
 
         def local_spmv(m: DistMatrix, v: np.ndarray) -> np.ndarray:
             halo = _halo_exchange(comm, m, v)
             lmm = m.locals[p]
-            vin = np.concatenate([v, halo]) if lmm.n_halo else v
-            return lmm.csr.spmv(vin)
+            with tracer.span("spmd.compute", rank=p, kernel="spmv"):
+                vin = np.concatenate([v, halo]) if lmm.n_halo else v
+                return lmm.csr.spmv(vin)
 
         def gdot(u: np.ndarray, v: np.ndarray) -> float:
-            return comm.allreduce(float(np.dot(u, v)), SUM)
+            with tracer.span("spmd.reduction", rank=p):
+                return comm.allreduce(float(np.dot(u, v)), SUM)
 
         def apply_precond(v: np.ndarray) -> np.ndarray:
             if precond_pair is None:
@@ -129,15 +161,17 @@ def spmd_cg(
         for _ in range(max_iterations):
             if np.sqrt(gdot(r, r)) <= rtol * norm0:
                 break
-            ad = local_spmv(mat, d)
-            alpha = rz / gdot(d, ad)
-            x += alpha * d
-            r -= alpha * ad
-            z = apply_precond(r)
-            rz_new = gdot(r, z)
-            beta = rz_new / rz
-            rz = rz_new
-            d = z + beta * d
+            with tracer.span("spmd.iteration", rank=p, index=iterations):
+                ad = local_spmv(mat, d)
+                alpha = rz / gdot(d, ad)
+                with tracer.span("spmd.compute", rank=p, kernel="axpy"):
+                    x += alpha * d
+                    r -= alpha * ad
+                z = apply_precond(r)
+                rz_new = gdot(r, z)
+                beta = rz_new / rz
+                rz = rz_new
+                d = z + beta * d
             iterations += 1
         return x, iterations
 

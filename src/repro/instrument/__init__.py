@@ -37,11 +37,13 @@ import threading
 from contextlib import contextmanager
 
 from repro.instrument.export import (
+    TraceError,
     read_json_trace,
     spans_from_dicts,
     spans_to_dicts,
     to_chrome_trace,
     trace_to_dict,
+    validate_span_monotonicity,
     write_chrome_trace,
     write_json_trace,
 )
@@ -71,11 +73,13 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "tracing",
+    "TraceError",
     "spans_to_dicts",
     "trace_to_dict",
     "write_json_trace",
     "read_json_trace",
     "spans_from_dicts",
+    "validate_span_monotonicity",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

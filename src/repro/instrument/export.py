@@ -17,9 +17,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.instrument.tracer import Span, Tracer
 
 __all__ = [
+    "TraceError",
     "spans_to_dicts",
     "trace_to_dict",
     "write_json_trace",
@@ -31,6 +33,58 @@ __all__ = [
 
 #: Format version stamped into exported documents.
 TRACE_FORMAT_VERSION = 1
+
+
+class TraceError(ReproError, ValueError):
+    """A trace document is malformed: wrong format, newer schema, or
+    physically impossible timestamps.
+
+    Subclasses :class:`ValueError` so callers that predate the dedicated
+    type keep working.
+    """
+
+
+def _span_stream_key(span_dict: dict) -> tuple:
+    """The stream a span belongs to for monotonicity purposes.
+
+    Spans tagged with a ``rank`` are one per-rank stream; untagged spans
+    fall back to their recording thread.
+    """
+    rank = span_dict.get("tags", {}).get("rank")
+    if rank is not None:
+        return ("rank", rank)
+    return ("thread", span_dict.get("thread"))
+
+
+def validate_span_monotonicity(spans: list[dict], *, source: str = "trace") -> None:
+    """Reject span streams whose timestamps run backwards.
+
+    Within each per-rank (or per-thread) stream, span start times must be
+    non-decreasing in document order and every span must end at or after it
+    started — a clock can stall but never rewind.  Raises
+    :class:`TraceError` naming the offending stream and span.
+    """
+    last_start: dict[tuple, float] = {}
+    for d in spans:
+        name = d.get("name", "?")
+        start = d.get("start")
+        end = d.get("end")
+        if not isinstance(start, (int, float)):
+            raise TraceError(f"{source}: span {name!r} has no numeric start time")
+        if end is not None and end < start:
+            raise TraceError(
+                f"{source}: span {name!r} ends before it starts "
+                f"(start={start!r}, end={end!r})"
+            )
+        key = _span_stream_key(d)
+        prev = last_start.get(key)
+        if prev is not None and start < prev:
+            stream = f"rank {key[1]}" if key[0] == "rank" else f"thread {key[1]}"
+            raise TraceError(
+                f"{source}: span timestamps are non-monotonic within {stream}: "
+                f"{name!r} starts at {start!r} after a span starting at {prev!r}"
+            )
+        last_start[key] = start
 
 
 def spans_to_dicts(spans) -> list[dict]:
@@ -58,18 +112,24 @@ def write_json_trace(path, tracer: Tracer, metrics=None, *, indent: int | None =
 def read_json_trace(path) -> dict:
     """Load a document written by :func:`write_json_trace` (round-trip).
 
-    Validates both the format marker and the schema version: documents from
-    a newer writer raise instead of being silently misread.
+    Validates the format marker, the schema version, and the physical
+    plausibility of the timestamps: documents from a newer writer — or ones
+    whose span timestamps run backwards within a rank — raise
+    :class:`TraceError` instead of being silently misread.
     """
     doc = json.loads(Path(path).read_text())
     if doc.get("format") != "repro-trace":
-        raise ValueError(f"{path}: not a repro trace document")
+        raise TraceError(f"{path}: not a repro trace document")
     version = doc.get("version")
     if version is not None and version > TRACE_FORMAT_VERSION:
-        raise ValueError(
+        raise TraceError(
             f"{path}: trace schema version {version} is newer than this "
             f"build's reader (version {TRACE_FORMAT_VERSION})"
         )
+    spans = doc.get("spans", [])
+    if not isinstance(spans, list):
+        raise TraceError(f"{path}: 'spans' must be a list")
+    validate_span_monotonicity(spans, source=str(path))
     return doc
 
 

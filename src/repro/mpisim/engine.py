@@ -125,7 +125,12 @@ class ThreadComm(Comm):
         return Request(self, source, tag)
 
     def recv(self, source: int, tag: int = ANY_TAG, *, timeout: float | None = None):
-        """Block until a message matching ``(source, tag)`` arrives."""
+        """Block until a message matching ``(source, tag)`` arrives.
+
+        With tracing enabled, time spent blocked on the mailbox is recorded
+        as an ``mpisim.wait`` span tagged with the awaited source — the raw
+        material for the timeline layer's wait-time attribution.
+        """
         self._check_peer(source)
         if source == self.rank:
             raise CommError("recv from self is not supported")
@@ -138,6 +143,12 @@ class ThreadComm(Comm):
                 if tracer.enabled:
                     tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
                 return obj
+        if tracer.enabled:
+            with tracer.span("mpisim.wait", rank=self.rank, src=source, tag=tag):
+                return self._recv_blocking(source, tag, limit, tracer)
+        return self._recv_blocking(source, tag, limit, tracer)
+
+    def _recv_blocking(self, source: int, tag: int, limit: float, tracer):
         while True:
             try:
                 src, t, obj = self._mailboxes[self.rank].get(timeout=limit)
@@ -181,10 +192,24 @@ def run_spmd(
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
 
+    # the launch event anchors per-rank clock offsets: each rank's root
+    # span records its start relative to this instant, so the timeline
+    # layer can align (and report) rank clock skew
+    tracer = get_tracer()
+    launch_t0 = None
+    if tracer.enabled:
+        launch_t0 = tracer.event("mpisim.launch", ranks=size).start
+
     def _worker(rank: int) -> None:
         comm = ThreadComm(rank, size, mailboxes, tracker, timeout)
         try:
-            results[rank] = fn(comm, *args, **kwargs)
+            if tracer.enabled:
+                with tracer.span("spmd.rank", rank=rank) as root:
+                    if launch_t0 is not None:
+                        root.set_tag("clock_offset", root.start - launch_t0)
+                    results[rank] = fn(comm, *args, **kwargs)
+            else:
+                results[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 — propagated to caller
             with lock:
                 errors.append((rank, exc))

@@ -16,7 +16,18 @@ turns them into artifacts that answer the paper's questions directly:
   filtering's bisection (Alg. 4's ±5 % band);
 * :mod:`repro.observe.report` — :class:`RunReport`, a versioned JSON
   aggregate of all of the above with text/markdown renderers, a ``repro
-  report`` CLI subcommand, and a :meth:`RunReport.compare` regression gate.
+  report`` CLI subcommand, and a :meth:`RunReport.compare` regression gate;
+* :mod:`repro.observe.timeline` — cross-rank timeline reconstruction:
+  :class:`Timeline` merges per-rank span streams from SPMD runs into
+  compute/pack/wait/reduction segments with critical-path analysis;
+  :func:`halo_critical_path` derives the static, byte-comparable halo
+  critical path straight from a schedule;
+* :mod:`repro.observe.explain` — :func:`attribute` judges per-method
+  :class:`MethodFacts` into a versioned :class:`AttributionVerdict` with
+  named suspects when achieved diverges from predicted;
+* :mod:`repro.observe.prom` — Prometheus/OpenMetrics text exposition for
+  any metrics registry and timeline aggregates
+  (:func:`render_openmetrics`).
 
 Import layering: this package sits *above* :mod:`repro.instrument` and
 *below* nothing — it must never import :mod:`repro.core` (solvers emit plain
@@ -34,11 +45,28 @@ from repro.observe.audit import (
     schedule_snapshot,
 )
 from repro.observe.balance import BalanceReport, balance_report
+from repro.observe.explain import (
+    EXPLAIN_FORMAT,
+    EXPLAIN_VERSION,
+    AttributionVerdict,
+    ExplainError,
+    MethodFacts,
+    Suspect,
+    attribute,
+)
 from repro.observe.flight import (
     DIVERGENCE_FACTOR,
     TRUE_RESIDUAL_INTERVAL,
     DriftCheck,
     FlightRecord,
+)
+from repro.observe.prom import (
+    escape_label_value,
+    parse_exposition,
+    render_openmetrics,
+    sanitize_metric_name,
+    timeline_samples,
+    write_openmetrics,
 )
 from repro.observe.report import (
     REPORT_FORMAT,
@@ -48,6 +76,19 @@ from repro.observe.report import (
     ReportError,
     RunReport,
     flatten_metrics,
+)
+from repro.observe.timeline import (
+    TIMELINE_FORMAT,
+    TIMELINE_VERSION,
+    CommEdge,
+    CriticalPath,
+    HaloCriticalPath,
+    Segment,
+    Timeline,
+    TimelineError,
+    bsp_wait_times,
+    classify_segment,
+    halo_critical_path,
 )
 
 __all__ = [
@@ -71,4 +112,28 @@ __all__ = [
     "ReportComparison",
     "RunReport",
     "flatten_metrics",
+    "TIMELINE_FORMAT",
+    "TIMELINE_VERSION",
+    "TimelineError",
+    "Segment",
+    "CommEdge",
+    "CriticalPath",
+    "Timeline",
+    "HaloCriticalPath",
+    "halo_critical_path",
+    "bsp_wait_times",
+    "classify_segment",
+    "EXPLAIN_FORMAT",
+    "EXPLAIN_VERSION",
+    "ExplainError",
+    "MethodFacts",
+    "Suspect",
+    "AttributionVerdict",
+    "attribute",
+    "sanitize_metric_name",
+    "escape_label_value",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_exposition",
+    "timeline_samples",
 ]

@@ -1,0 +1,191 @@
+"""Prometheus / OpenMetrics text exposition for metrics and timelines.
+
+CI gates and external scrapers should consume the same numbers as
+``repro report`` without parsing bespoke JSON.  This module renders any
+:class:`~repro.instrument.MetricsRegistry` (or its :meth:`collect` output)
+in the Prometheus text exposition format:
+
+* metric names are sanitised (``halo.bytes_sent`` → ``repro_halo_bytes_sent``)
+  and counters gain the conventional ``_total`` suffix;
+* tags become labels with proper value escaping (backslash, double quote,
+  newline);
+* histograms expose ``_count`` / ``_sum`` (plus ``_min`` / ``_max`` gauges);
+* :func:`timeline_samples` turns a :class:`~repro.observe.timeline.Timeline`
+  into per-rank gauges (busy / wait / slack seconds, makespan, critical
+  path) so timeline aggregates ride the same endpoint.
+
+:func:`parse_exposition` is a deliberately small reader for round-trip
+tests and CI assertions — it understands exactly what
+:func:`render_openmetrics` writes, not the full grammar.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = [
+    "sanitize_metric_name",
+    "escape_label_value",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_exposition",
+    "timeline_samples",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str, *, namespace: str = "repro") -> str:
+    """A valid Prometheus metric name: namespaced, dots to underscores."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _sanitize_label(name: str) -> str:
+    flat = _LABEL_INVALID.sub("_", str(name))
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat or "_"
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the exposition format: ``\\`` ``"`` ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(tags: dict) -> str:
+    if not tags:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label(k)}="{escape_label_value(tags[k])}"'
+        for k in sorted(tags, key=str)
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def render_openmetrics(source, *, namespace: str = "repro") -> str:
+    """Render a metrics registry (or a ``collect()`` list) as exposition text.
+
+    Counters are exported as ``<name>_total`` with ``# TYPE ... counter``;
+    gauges as-is; histograms as ``_count`` / ``_sum`` summaries plus
+    ``_min`` / ``_max`` gauges.  Ends with the OpenMetrics ``# EOF`` marker.
+    """
+    collected = source.collect() if hasattr(source, "collect") else list(source)
+    families: dict[tuple[str, str], list[str]] = {}
+
+    def add(kind: str, base: str, suffix: str, tags: dict, value) -> None:
+        if value is None:
+            return
+        name = sanitize_metric_name(base, namespace=namespace) + suffix
+        family = families.setdefault((name, kind), [])
+        family.append(f"{name}{_labels(tags)} {_fmt(value)}")
+
+    for inst in collected:
+        kind = inst.get("kind")
+        base = inst.get("name", "metric")
+        tags = inst.get("tags", {})
+        if kind == "counter":
+            add("counter", base, "_total", tags, inst.get("value"))
+        elif kind == "histogram":
+            add("summary", base, "_count", tags, inst.get("count", 0))
+            add("summary", base, "_sum", tags, inst.get("sum", 0.0))
+            add("gauge", base, "_min", tags, inst.get("min"))
+            add("gauge", base, "_max", tags, inst.get("max"))
+        else:
+            add("gauge", base, "", tags, inst.get("value"))
+
+    lines: list[str] = []
+    typed: set[str] = set()
+    for (name, kind), samples in sorted(families.items()):
+        type_name = name
+        for suffix in ("_count", "_sum"):
+            if kind == "summary" and type_name.endswith(suffix):
+                type_name = type_name[: -len(suffix)]
+        if type_name not in typed:
+            lines.append(f"# TYPE {type_name} {kind}")
+            typed.add(type_name)
+        lines.extend(samples)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, source, *, namespace: str = "repro") -> Path:
+    """Write :func:`render_openmetrics` output; returns the path written."""
+    path = Path(path)
+    path.write_text(render_openmetrics(source, namespace=namespace))
+    return path
+
+
+def parse_exposition(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse exposition text back into ``{sample_name: {label_items: value}}``.
+
+    The inverse of :func:`render_openmetrics` for round-trip testing: label
+    sets become sorted ``(key, value)`` tuples with escapes undone.
+    """
+    out: dict[str, dict[tuple, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$", line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name, _, labelbody, value = match.groups()
+        labels = []
+        if labelbody:
+            for part in re.findall(r'([a-zA-Z0-9_]+)="((?:[^"\\]|\\.)*)"', labelbody):
+                key, escaped = part
+                unescaped = (
+                    escaped.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                )
+                labels.append((key, unescaped))
+        out.setdefault(name, {})[tuple(sorted(labels))] = float(value)
+    return out
+
+
+def timeline_samples(timeline) -> list[dict]:
+    """Timeline aggregates as ``collect()``-style instruments.
+
+    Feed the result (optionally concatenated with a registry's
+    ``collect()``) to :func:`render_openmetrics` so scrapers see per-rank
+    busy / wait / slack gauges next to the solver counters.
+    """
+    samples: list[dict] = [
+        {"kind": "gauge", "name": "timeline.makespan_seconds", "tags": {},
+         "value": timeline.makespan},
+        {"kind": "gauge", "name": "timeline.critical_path_seconds", "tags": {},
+         "value": timeline.critical_path().length},
+        {"kind": "gauge", "name": "timeline.segments", "tags": {},
+         "value": len(timeline.segments)},
+    ]
+    busy = timeline.busy_seconds()
+    wait = timeline.wait_histogram()
+    slack = timeline.slack_seconds()
+    for rank in timeline.ranks:
+        tags = {"rank": rank}
+        samples.append({"kind": "gauge", "name": "timeline.busy_seconds",
+                        "tags": tags, "value": busy[rank]})
+        samples.append({"kind": "gauge", "name": "timeline.wait_seconds",
+                        "tags": tags, "value": wait[rank]})
+        samples.append({"kind": "gauge", "name": "timeline.slack_seconds",
+                        "tags": tags, "value": slack[rank]})
+    for kind, seconds in sorted(timeline.kind_seconds().items()):
+        samples.append({"kind": "counter", "name": "timeline.phase_seconds",
+                        "tags": {"phase": kind}, "value": seconds})
+    return samples

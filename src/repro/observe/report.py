@@ -2,9 +2,10 @@
 regression comparator.
 
 A :class:`RunReport` aggregates what the other observe pieces produce —
-flight-recorder summaries, invariance verdicts, balance reports, timer and
-metric snapshots — into a single document with a versioned schema
-(``format: "repro-run-report"``, ``version: 1``):
+flight-recorder summaries, invariance verdicts, balance reports, timeline
+and attribution summaries, timer and metric snapshots — into a single
+document with a versioned schema (``format: "repro-run-report"``,
+``version: 2``; version-1 documents still load):
 
 * ``meta`` — free-form provenance (label, matrix, ranks, ...);
 * ``sections`` — named nested dictionaries (``flight``, ``invariance``,
@@ -36,6 +37,7 @@ from repro.observe.flight import FlightRecord
 __all__ = [
     "REPORT_FORMAT",
     "REPORT_VERSION",
+    "SUPPORTED_REPORT_VERSIONS",
     "ReportError",
     "flatten_metrics",
     "MetricDelta",
@@ -45,7 +47,12 @@ __all__ = [
 
 #: Schema identifier and version stamped into every saved report.
 REPORT_FORMAT = "repro-run-report"
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+
+#: Older schema versions this build still reads.  v2 added the optional
+#: ``timeline`` and ``attribution`` sections (plus ``timeline.*`` metrics);
+#: v1 documents simply lack them, so they load unchanged.
+SUPPORTED_REPORT_VERSIONS = (1, 2)
 
 
 class ReportError(ReproError):
@@ -255,6 +262,28 @@ class RunReport:
         return report
 
     @classmethod
+    def from_solver_bench(cls, doc: dict, *, label: str = "solver-bench") -> "RunReport":
+        """Build from a solve-level benchmark document (``BENCH_solver.json``,
+        see :mod:`benchmarks.solver_bench`): per-pattern iteration counts and
+        nnz tradeoffs become ``solver.*`` metrics."""
+        if "summary" not in doc or "solver" not in doc:
+            raise ReportError(
+                "not a solver benchmark document (needs 'summary' and 'solver')"
+            )
+        report = cls(
+            meta={
+                "label": label,
+                "source": "solver-bench",
+                "config": doc.get("config", {}),
+            }
+        )
+        report.sections["solver"] = dict(doc["solver"])
+        for key, value in doc["summary"].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"solver.{key}"] = float(value)
+        return report
+
+    @classmethod
     def from_dict(cls, doc: dict) -> "RunReport":
         """Validate and load the saved document form."""
         if not isinstance(doc, dict):
@@ -265,10 +294,10 @@ class RunReport:
                 f"not a run report (format={fmt!r}, expected {REPORT_FORMAT!r})"
             )
         version = doc.get("version")
-        if version != REPORT_VERSION:
+        if version not in SUPPORTED_REPORT_VERSIONS:
             raise ReportError(
                 f"unsupported run-report schema version {version!r} "
-                f"(this build reads version {REPORT_VERSION})"
+                f"(this build reads versions {SUPPORTED_REPORT_VERSIONS})"
             )
         for key, want in (("meta", dict), ("sections", dict), ("metrics", dict)):
             if not isinstance(doc.get(key, want()), want):
@@ -290,7 +319,7 @@ class RunReport:
         path = Path(path)
         try:
             text = path.read_text()
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError) as exc:
             raise ReportError(f"cannot read {path}: {exc}") from exc
         try:
             doc = json.loads(text)
@@ -311,6 +340,8 @@ class RunReport:
                     f"{path}: trace schema version {version} is newer than this build"
                 )
             return cls.from_trace_doc(doc, label=path.stem)
+        if "summary" in doc and "solver" in doc:
+            return cls.from_solver_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
         raise ReportError(
@@ -334,6 +365,38 @@ class RunReport:
     def add_metric(self, name: str, value) -> None:
         """Add one flat comparable metric."""
         self.metrics[name] = float(value)
+
+    def attach_timeline(self, timeline) -> None:
+        """Attach a :class:`~repro.observe.timeline.Timeline` (v2 section).
+
+        Stores the aggregate summary under ``sections["timeline"]`` and the
+        headline numbers as comparable ``timeline.*`` metrics.
+        """
+        summary = timeline.summary()
+        self.sections["timeline"] = summary
+        self.metrics["timeline.makespan_seconds"] = float(summary["makespan_seconds"])
+        self.metrics["timeline.total_busy_seconds"] = float(
+            summary["total_busy_seconds"]
+        )
+        self.metrics["timeline.max_wait_seconds"] = float(summary["max_wait_seconds"])
+        self.metrics["timeline.critical_path_seconds"] = float(
+            summary["critical_path"]["length_seconds"]
+        )
+
+    def attach_attribution(self, verdict) -> None:
+        """Attach an :class:`~repro.observe.explain.AttributionVerdict`
+        (v2 section) plus per-method iteration metrics."""
+        doc = verdict.to_dict()
+        self.sections["attribution"] = {
+            "headline": doc["headline"],
+            "baseline": doc["baseline"],
+            "facts": doc["facts"],
+            "suspects": doc["suspects"],
+        }
+        for f in verdict.facts:
+            key = f.method.lower().replace(" ", "-")
+            self.metrics[f"attribution.{key}.iterations"] = float(f.iterations)
+        self.metrics["attribution.suspects"] = float(len(verdict.suspects))
 
     # persistence -------------------------------------------------------
     def to_dict(self) -> dict:

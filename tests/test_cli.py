@@ -226,3 +226,88 @@ class TestReport:
                 ["report", str(base), "--compare", str(other), "--tol", spec]
             ) == 2
             assert "NAME=RELATIVE_TOLERANCE" in capsys.readouterr().err
+
+    def test_compare_missing_file_is_clear_error(self, tmp_path, capsys):
+        base = self._write_report(tmp_path)
+        assert main(
+            ["report", str(base), "--compare", str(tmp_path / "absent.json")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_compare_unreadable_file_is_clear_error(self, tmp_path, capsys):
+        base = self._write_report(tmp_path)
+        binary = tmp_path / "binary.json"
+        binary.write_bytes(b"\x80\x81\xfe\xff not utf-8")
+        assert main(["report", str(base), "--compare", str(binary)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestTimeline:
+    def test_timeline_prints_gantt_and_critical_path(self, capsys):
+        code = main(
+            ["timeline", "--generate", "poisson2d:8", "--ranks", "2",
+             "--method", "fsai"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "static halo critical path" in out
+        assert "legend: C compute" in out
+        assert "critical path" in out
+
+    def test_timeline_json_and_prom_outputs(self, tmp_path, capsys):
+        tl_path = tmp_path / "t.json"
+        prom_path = tmp_path / "t.prom"
+        code = main(
+            ["timeline", "--generate", "poisson2d:8", "--ranks", "2",
+             "--json", str(tl_path), "--prom", str(prom_path)]
+        )
+        assert code == 0
+        from repro.observe import Timeline
+
+        tl = Timeline.load(tl_path)
+        assert tl.ranks == [0, 1]
+        text = prom_path.read_text()
+        assert "repro_timeline_makespan_seconds" in text
+        assert text.endswith("# EOF\n")
+
+    def test_timeline_load_renders_saved_document(self, tmp_path, capsys):
+        tl_path = tmp_path / "t.json"
+        assert main(
+            ["timeline", "--generate", "poisson2d:8", "--ranks", "2",
+             "--json", str(tl_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["timeline", "--load", str(tl_path)]) == 0
+        out = capsys.readouterr().out
+        assert "legend: C compute" in out
+
+    def test_timeline_load_missing_file_is_clear_error(self, tmp_path, capsys):
+        assert main(["timeline", "--load", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestExplain:
+    def test_explain_prints_verdict(self, capsys):
+        code = main(["explain", "--generate", "poisson2d:12", "--ranks", "4",
+                     "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attribution verdict" in out
+        assert "FSAIE-Comm" in out
+        assert "comm invariant    : True" in out
+
+    def test_explain_json_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "verdict.json"
+        code = main(["explain", "--generate", "poisson2d:8", "--ranks", "2",
+                     "--json", str(path)])
+        assert code == 0
+        from repro.observe import AttributionVerdict
+
+        verdict = AttributionVerdict.load(path)
+        assert {f.method for f in verdict.facts} == {"FSAI", "FSAIE", "FSAIE-Comm"}

@@ -1,0 +1,174 @@
+"""Tests for the performance-attribution explainer (:mod:`repro.observe.explain`).
+
+Each suspect rule is exercised in isolation on hand-built facts, then the
+live path (duck-typed ``MethodFacts.from_objects`` over real preconditioner
+and solve objects) is checked to produce a clean verdict on the acceptance
+stencil — the same fact ``repro explain`` and ``scripts/check_critical_path.py``
+report.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.cg import pcg
+from repro.core.precond import build_fsai, build_fsaie_comm
+from repro.observe import (
+    AttributionVerdict,
+    ExplainError,
+    MethodFacts,
+    Suspect,
+    attribute,
+)
+
+
+def facts(method="FSAI", iterations=30, **kw):
+    defaults = dict(converged=True, nnz=1000, base_nnz=1000,
+                    nnz_per_rank=[250, 250, 250, 250])
+    defaults.update(kw)
+    return MethodFacts(method=method, iterations=iterations, **defaults)
+
+
+class TestSuspectRules:
+    def test_clean_verdict(self):
+        verdict = attribute([
+            facts(),
+            facts("FSAIE-Comm", 25, nnz=1400),
+        ])
+        assert verdict.suspects == []
+        assert "suspects: clean" in verdict.headline
+
+    def test_no_convergence(self):
+        verdict = attribute([facts(converged=False)])
+        assert [s.name for s in verdict.suspects] == ["no-convergence"]
+
+    def test_ineffective_extension(self):
+        verdict = attribute([facts(), facts("FSAIE", 30, nnz=1500)])
+        names = [s.name for s in verdict.suspects]
+        assert names == ["ineffective-extension"]
+        assert verdict.suspects[0].method == "FSAIE"
+        assert "no iteration reduction" in verdict.suspects[0].detail
+
+    def test_load_imbalance(self):
+        verdict = attribute([facts(nnz_per_rank=[100, 100, 100, 400])])
+        assert [s.name for s in verdict.suspects] == ["load-imbalance"]
+
+    def test_model_divergence_names_dominant_component(self):
+        verdict = attribute([
+            facts(
+                modeled_seconds=1.0,
+                measured_seconds=2.0,
+                modeled_breakdown={"spmv_a": 0.7, "halo": 0.3},
+            )
+        ])
+        assert [s.name for s in verdict.suspects] == ["model-divergence"]
+        assert "spmv_a" in verdict.suspects[0].detail
+
+    def test_model_within_tolerance_is_clean(self):
+        verdict = attribute([
+            facts(modeled_seconds=1.0, measured_seconds=1.3)
+        ])
+        assert verdict.suspects == []
+
+    def test_cache_reuse_not_realized(self):
+        verdict = attribute([
+            facts(misses_total=1000.0),
+            facts("FSAIE", 25, nnz=1500, misses_total=1500.0),
+        ])
+        assert [s.name for s in verdict.suspects] == ["cache-reuse-not-realized"]
+
+    def test_comm_invariance_violated(self):
+        verdict = attribute([
+            facts(),
+            facts("FSAIE-Comm", 25, nnz=1400, invariant=False),
+        ])
+        assert [s.name for s in verdict.suspects] == ["comm-invariance-violated"]
+
+
+class TestVerdict:
+    def test_iteration_reduction_percent(self):
+        verdict = attribute([facts(iterations=30), facts("FSAIE-Comm", 24)])
+        assert verdict.iteration_reduction_percent("FSAIE-Comm") == pytest.approx(20.0)
+        assert verdict.iteration_reduction_percent("missing") is None
+
+    def test_headline_mentions_every_method(self):
+        verdict = attribute([
+            facts(), facts("FSAIE", 27, nnz=1300), facts("FSAIE-Comm", 25, nnz=1400),
+        ])
+        for token in ("FSAI:", "FSAIE:", "FSAIE-Comm:", "+10.0%"):
+            assert token in verdict.headline
+
+    def test_render_lists_suspects(self):
+        verdict = attribute([facts(converged=False)])
+        text = verdict.render()
+        assert "no-convergence" in text
+        assert "attribution verdict" in text
+        clean = attribute([facts()]).render()
+        assert "suspects: none" in clean
+
+    def test_roundtrip(self, tmp_path):
+        verdict = attribute(
+            [facts(misses_total=10.0), facts("FSAIE", 40, nnz=1500)],
+            meta={"case": "t"},
+        )
+        path = verdict.save(tmp_path / "v.json")
+        back = AttributionVerdict.load(path)
+        assert back.meta == {"case": "t"}
+        assert [f.to_dict() for f in back.facts] == [
+            f.to_dict() for f in verdict.facts
+        ]
+        assert back.suspects == verdict.suspects
+        assert back.headline == verdict.headline
+
+    def test_rejects_wrong_format_and_newer_version(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ExplainError, match="not an attribution"):
+            AttributionVerdict.load(bad)
+        newer = tmp_path / "newer.json"
+        newer.write_text(
+            json.dumps({"format": "repro-attribution", "version": 99})
+        )
+        with pytest.raises(ExplainError, match="version 99"):
+            AttributionVerdict.load(newer)
+
+    def test_missing_file_is_explain_error(self, tmp_path):
+        with pytest.raises(ExplainError, match="cannot read"):
+            AttributionVerdict.load(tmp_path / "absent.json")
+
+
+class TestFromObjects:
+    def test_duck_typed_builder(self):
+        pre = SimpleNamespace(
+            name="FSAIE", nnz=1500, base_nnz=1000,
+            nnz_per_rank=lambda: [375, 375, 375, 375],
+        )
+        result = SimpleNamespace(iterations=25, converged=True)
+        cost = SimpleNamespace(
+            spmv_a=1e-6, precond=2e-6, halo=5e-7, reductions=1e-7,
+            vector_ops=2e-7, total=3.8e-6,
+        )
+        f = MethodFacts.from_objects(pre, result, cost=cost, misses=[5.0, 6.0])
+        assert f.method == "FSAIE"
+        assert f.extra_nnz_percent == pytest.approx(50.0)
+        assert f.modeled_seconds == pytest.approx(25 * 3.8e-6)
+        assert f.modeled_breakdown["precond"] == pytest.approx(2e-6)
+        assert f.misses_total == pytest.approx(11.0)
+        assert f.imbalance == pytest.approx(1.0)
+
+    def test_acceptance_stencil_verdict_is_clean(self, dist_poisson16):
+        mat, part, da, b = dist_poisson16
+        fsai = build_fsai(mat, part)
+        comm = build_fsaie_comm(mat, part)
+        res_fsai = pcg(da, b, precond=fsai)
+        res_comm = pcg(da, b, precond=comm)
+        verdict = attribute([
+            MethodFacts.from_objects(fsai, res_fsai),
+            MethodFacts.from_objects(comm, res_comm, invariant=True),
+        ])
+        reduction = verdict.iteration_reduction_percent("FSAIE-Comm")
+        assert reduction is not None and reduction > 0
+        assert not [s for s in verdict.suspects if s.method == "FSAIE-Comm"]

@@ -217,9 +217,38 @@ class TestExport:
         }
 
     def test_read_rejects_foreign_documents(self, tmp_path):
+        from repro.instrument import TraceError
+
         path = tmp_path / "bogus.json"
         path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(TraceError):
+            read_json_trace(path)
+        # TraceError stays catchable as the ValueError it always was
         with pytest.raises(ValueError):
+            read_json_trace(path)
+
+    def test_read_rejects_non_monotonic_spans(self, tmp_path):
+        from repro.instrument import TraceError
+
+        tracer, metrics = self.make_trace()
+        path = write_json_trace(tmp_path / "t.json", tracer, metrics)
+        doc = json.loads(path.read_text())
+        # tamper: drag the last span's timestamps before its predecessor's
+        doc["spans"][-1]["start"] = doc["spans"][0]["start"] - 5.0
+        doc["spans"][-1]["end"] = doc["spans"][0]["start"] - 4.0
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TraceError, match="non-monotonic"):
+            read_json_trace(path)
+
+    def test_read_rejects_span_ending_before_start(self, tmp_path):
+        from repro.instrument import TraceError
+
+        tracer, metrics = self.make_trace()
+        path = write_json_trace(tmp_path / "t.json", tracer, metrics)
+        doc = json.loads(path.read_text())
+        doc["spans"][0]["end"] = doc["spans"][0]["start"] - 1.0
+        path.write_text(json.dumps(doc))
+        with pytest.raises(TraceError, match="ends before it starts"):
             read_json_trace(path)
 
     def test_chrome_trace_structure(self):

@@ -488,7 +488,7 @@ class TestRunReport:
         assert loaded.metrics["pcg.iterations"] == 42.0
         doc = json.loads(path.read_text())
         assert doc["format"] == "repro-run-report"
-        assert doc["version"] == 1
+        assert doc["version"] == 2
 
     def test_from_run_collects_flight_and_metrics(self, dist_poisson16):
         _, _, da, b = dist_poisson16
@@ -525,6 +525,77 @@ class TestRunReport:
         assert report.metrics["bench.pcg_hot_allocs"] == 0.0
         assert report.metrics["bench.pcg.iterations"] == 30.0
         assert report.sections["bench"]["pcg_speedup"] == 1.5
+
+    def test_version_1_documents_still_load(self, tmp_path):
+        # v1 reports (written before the timeline/attribution sections
+        # existed) must keep loading under the v2 reader
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-run-report",
+                    "version": 1,
+                    "meta": {"label": "old"},
+                    "sections": {"flight": {"iterations": 12}},
+                    "metrics": {"pcg.iterations": 12.0},
+                }
+            )
+        )
+        report = RunReport.load(path)
+        assert report.label == "old"
+        assert report.metrics["pcg.iterations"] == 12.0
+
+    def test_from_solver_bench_via_load(self, tmp_path):
+        doc = {
+            "suite": "solver",
+            "config": {"matrices": ["msdoor"], "filter": 0.01},
+            "solver": {"msdoor": {"methods": {"fsai": {"iterations": 106}}}},
+            "summary": {
+                "msdoor.fsai.iterations": 106,
+                "msdoor.comm.iterations": 99,
+                "msdoor.comm.invariant": 1,
+            },
+        }
+        path = tmp_path / "BENCH_solver.json"
+        path.write_text(json.dumps(doc))
+        report = RunReport.load(path)
+        assert report.meta["source"] == "solver-bench"
+        assert report.metrics["solver.msdoor.fsai.iterations"] == 106.0
+        assert report.metrics["solver.msdoor.comm.invariant"] == 1.0
+        assert report.sections["solver"]["msdoor"]["methods"]["fsai"]["iterations"] == 106
+
+    def test_attach_timeline_and_attribution(self):
+        from repro.observe import MethodFacts, Timeline, attribute
+        from repro.observe.timeline import Segment
+
+        report = self._sample()
+        timeline = Timeline(
+            [
+                Segment(0, "spmd.compute", "compute", 0.0, 2.0),
+                Segment(1, "spmd.halo.wait", "wait", 0.0, 1.5, src=0),
+            ]
+        )
+        report.attach_timeline(timeline)
+        assert report.sections["timeline"]["ranks"] == 2
+        assert report.metrics["timeline.makespan_seconds"] == pytest.approx(2.0)
+        assert report.metrics["timeline.max_wait_seconds"] == pytest.approx(1.5)
+        assert "timeline.critical_path_seconds" in report.metrics
+
+        verdict = attribute(
+            [
+                MethodFacts(method="FSAI", iterations=30),
+                MethodFacts(method="FSAIE-Comm", iterations=25, nnz=10,
+                            base_nnz=8),
+            ]
+        )
+        report.attach_attribution(verdict)
+        section = report.sections["attribution"]
+        assert section["baseline"] == "FSAI"
+        assert "headline" in section
+        assert report.metrics["attribution.fsaie-comm.iterations"] == 25.0
+        assert report.metrics["attribution.suspects"] == 0.0
+        # the attached report still round-trips through its document form
+        assert RunReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
 
     def test_load_missing_file_raises_report_error(self, tmp_path):
         with pytest.raises(ReportError, match="cannot read"):
