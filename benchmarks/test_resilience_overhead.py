@@ -1,0 +1,89 @@
+"""Zero-overhead contract of the fault-injection hook.
+
+The resilience subsystem must cost nothing when no fault plan is
+installed: the halo update and the SPMD engine test one module-level
+reference (``get_injector() is None``) and take their original paths.
+This suite pins that contract:
+
+* with no injector, the traced halo update records no retry/timeout
+  metrics and the solver result is bitwise identical to the seed
+  behaviour;
+* an untraced, uninjected solve never enters the instrumented
+  ``_update_traced`` slow path at all;
+* wall-clock of the uninjected solve is benchmarked alongside a solve
+  with an installed-but-empty plan, so a regression in the hook itself
+  (not just in the fault paths) shows up in ``--benchmark-compare``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_fsai, pcg
+from repro.dist import DistMatrix, DistVector, RowPartition
+from repro.dist.halo import HaloSchedule
+from repro.instrument import tracing
+from repro.matgen import paper_rhs, poisson2d
+from repro.mpisim import get_injector
+from repro.resilience import FaultPlan, fault_injection
+
+RTOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def system():
+    mat = poisson2d(16)
+    part = RowPartition.from_matrix(mat, 4, seed=7)
+    da = DistMatrix.from_global(mat, part)
+    b = DistVector.from_global(paper_rhs(mat, seed=3), part)
+    return da, b, build_fsai(mat, part)
+
+
+def test_no_injector_means_no_resilience_metrics(system):
+    da, b, pre = system
+    assert get_injector() is None
+    with tracing() as (_, metrics):
+        result = pcg(da, b, precond=pre, rtol=RTOL)
+        assert metrics.sum_values("halo.retries") == 0
+        assert metrics.sum_values("halo.timeouts") == 0
+        assert metrics.sum_values("resilience.stalls") == 0
+    assert result.converged
+
+
+def test_uninjected_untraced_solve_skips_slow_path(system, monkeypatch):
+    da, b, pre = system
+
+    def boom(*args, **kwargs):  # pragma: no cover — failure is the signal
+        raise AssertionError("hot path entered _update_traced without a tracer/injector")
+
+    monkeypatch.setattr(HaloSchedule, "_update_traced", boom)
+    result = pcg(da, b, precond=pre, rtol=RTOL)
+    assert result.converged
+
+
+def test_empty_plan_changes_nothing(system):
+    da, b, pre = system
+    clean = pcg(da, b, precond=pre, rtol=RTOL)
+    with fault_injection(FaultPlan()):
+        guarded = pcg(da, b, precond=pre, rtol=RTOL)
+    assert guarded.iterations == clean.iterations
+    assert guarded.final_residual == clean.final_residual
+
+
+@pytest.mark.benchmark(group="resilience-overhead")
+def test_bench_solve_without_hook(benchmark, system):
+    da, b, pre = system
+    result = benchmark(lambda: pcg(da, b, precond=pre, rtol=RTOL))
+    assert result.converged
+
+
+@pytest.mark.benchmark(group="resilience-overhead")
+def test_bench_solve_with_empty_plan(benchmark, system):
+    da, b, pre = system
+
+    def run():
+        with fault_injection(FaultPlan()):
+            return pcg(da, b, precond=pre, rtol=RTOL)
+
+    result = benchmark(run)
+    assert result.converged

@@ -6,9 +6,13 @@ Run:  python scripts/check_api_surface.py
 Checks, for every package listed in ``scripts/gen_api_docs.py``:
 
 1. every name in the module's ``__all__`` resolves via ``getattr`` (no stale
-   exports), and
+   exports),
 2. every exported name appears in ``docs/API.md`` (the reference was
-   regenerated after the surface last changed).
+   regenerated after the surface last changed),
+3. the module has a docstring (the generated reference leads with it), and
+4. for the packages in :data:`DOC_COVERAGE` — the observability, kernel and
+   resilience layers, whose contracts live in prose — every exported
+   function/class *and every public method* carries a docstring.
 
 Exit code 0 when clean; 1 with a line per violation otherwise.  Wired into
 the test suite as ``tests/test_api_surface.py``.
@@ -17,6 +21,7 @@ the test suite as ``tests/test_api_surface.py``.
 from __future__ import annotations
 
 import importlib
+import inspect
 import sys
 from pathlib import Path
 
@@ -26,6 +31,36 @@ from gen_api_docs import PACKAGES  # noqa: E402 — sibling script, same list
 
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
+#: Packages whose exported callables must all be docstring-covered.
+DOC_COVERAGE = ("repro.observe", "repro.kernels", "repro.resilience")
+
+
+def check_doc_coverage(modname: str) -> list[str]:
+    """Docstring coverage of one package's ``__all__`` surface."""
+    problems: list[str] = []
+    try:
+        mod = importlib.import_module(modname)
+    except Exception as exc:  # pragma: no cover — import errors are the finding
+        return [f"{modname}: import failed: {exc!r}"]
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name, None)
+        if obj is None or not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not inspect.getdoc(obj):
+            problems.append(f"{modname}.{name}: missing docstring")
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                target = attr.fget if isinstance(attr, property) else attr
+                if not callable(target):
+                    continue
+                if not inspect.getdoc(target):
+                    problems.append(
+                        f"{modname}.{name}.{attr_name}: missing docstring"
+                    )
+    return problems
+
 
 def check_package(modname: str, api_text: str) -> list[str]:
     problems: list[str] = []
@@ -33,6 +68,8 @@ def check_package(modname: str, api_text: str) -> list[str]:
         mod = importlib.import_module(modname)
     except Exception as exc:  # pragma: no cover — import errors are the finding
         return [f"{modname}: import failed: {exc!r}"]
+    if not inspect.getdoc(mod):
+        problems.append(f"{modname}: missing module docstring")
     exported = getattr(mod, "__all__", None)
     if exported is None:
         return problems
@@ -60,12 +97,17 @@ def main() -> int:
     problems: list[str] = []
     for pkg in PACKAGES:
         problems.extend(check_package(pkg, api_text))
+    for pkg in DOC_COVERAGE:
+        problems.extend(check_doc_coverage(pkg))
     for line in problems:
         print(line, file=sys.stderr)
     if problems:
         print(f"{len(problems)} API surface problem(s)", file=sys.stderr)
         return 1
-    print(f"API surface clean: {len(PACKAGES)} packages checked against {API_MD.name}")
+    print(
+        f"API surface clean: {len(PACKAGES)} packages checked against {API_MD.name}, "
+        f"docstring coverage enforced for {', '.join(DOC_COVERAGE)}"
+    )
     return 0
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro compare --generate catalog:thermal2 --machine a64fx
     python -m repro info    --matrix system.mtx
     python -m repro trace   --workload poisson3d --nparts 8 --output trace.json
+    python -m repro chaos   --generate poisson2d:16 --ranks 4 --json chaos.json
 
 Matrix sources: ``--matrix FILE`` reads MatrixMarket; ``--generate SPEC``
 builds a synthetic problem, where SPEC is one of
@@ -377,6 +378,47 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: inject a seeded fault menu, verify the solver survives.
+
+    Runs the clean baseline and every scenario of the selected menu
+    (message delays, drops, duplicates, bit-flips, a transient rank
+    stall), printing the survival table and — with ``--json`` — writing
+    the versioned ``repro-chaos-report`` artifact that
+    ``scripts/check_resilience.py`` gates on.  Exit code 0 when every
+    scenario met its contract, 1 otherwise.
+    """
+    from repro.resilience import quick_menu, run_chaos, standard_menu
+
+    mat = load_matrix(args)
+    if not is_symmetric(mat):
+        raise ReproError("matrix must be symmetric (CG/FSAI requirement)")
+    builder = None
+    if args.method != "none":
+        build = _BUILDERS[args.method]
+        options = _options(args)
+
+        def builder(a, part):
+            return build(a, part, options)
+
+    menu_fn = quick_menu if args.menu == "quick" else standard_menu
+    report = run_chaos(
+        mat,
+        ranks=args.ranks,
+        seed=args.seed,
+        rtol=args.rtol,
+        max_iterations=args.max_iterations,
+        menu=menu_fn(args.ranks),
+        engine=args.engine,
+        precond_builder=builder,
+        matrix_label=args.generate or args.matrix or "?",
+    )
+    print(report.render())
+    if args.json:
+        print(f"\nchaos report written: {report.save(args.json)}")
+    return 0 if report.survived else 1
+
+
 def cmd_info(args) -> int:
     """``repro info``: structural statistics of a matrix."""
     from repro.order import bandwidth
@@ -484,6 +526,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only out-of-tolerance rows of the comparison",
     )
     p_rep.set_defaults(fn=cmd_report)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject a seeded fault menu and verify the solver survives",
+    )
+    add_common(p_chaos, with_solver=True)
+    p_chaos.add_argument("--method", choices=["none", *sorted(_BUILDERS)],
+                         default="fsai", help="preconditioner ('none' for plain CG)")
+    p_chaos.add_argument("--menu", choices=("standard", "quick"), default="standard",
+                         help="scenario menu (quick = 2-scenario smoke subset)")
+    p_chaos.add_argument("--engine", choices=("bsp", "spmd"), default="bsp",
+                         help="deterministic BSP solver or threaded SPMD runtime")
+    p_chaos.add_argument("--json", help="write the versioned chaos report here")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_info = sub.add_parser("info", help="matrix statistics")
     add_common(p_info, with_solver=False)

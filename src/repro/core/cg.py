@@ -237,6 +237,7 @@ def pcg(
     tracker: CommTracker | None = None,
     raise_on_fail: bool = False,
     workspace: SolverWorkspace | bool | None = None,
+    resilience=None,
 ) -> CGResult:
     """Preconditioned CG on a distributed SPD matrix.
 
@@ -258,6 +259,14 @@ def pcg(
         Workspace solves replay the legacy arithmetic bitwise on the
         reduceat plan path; narrow-row (ELL-planned) operators agree to
         rounding instead — see :mod:`repro.kernels.plan`.
+    resilience:
+        A :class:`repro.resilience.ResilienceConfig` activates
+        checkpoint-restart: the recurrence state ``(x, r, d, rz)`` is
+        snapshotted every ``checkpoint_interval`` iterations, and a
+        divergence trigger (non-finite/exploding residual or a
+        ``dᵀAd ≤ 0`` breakdown) rolls back to the last snapshot and
+        replays deterministically.  ``None`` (the default) imports and
+        checks nothing — the hot loop is unchanged.
     """
     apply_m = resolve_precond(precond)
     ws = resolve_workspace(workspace, mat)
@@ -299,10 +308,38 @@ def pcg(
             if tracer.enabled
             else None
         )
+
+        ckpt = None
+        if resilience is not None:
+            from repro.resilience.recovery import CheckpointManager
+
+            ckpt = CheckpointManager(resilience)
+
+        def _try_rollback(cause: str):
+            """One rollback, or ``None`` when the budget is exhausted."""
+            try:
+                return ckpt.rollback(cause)
+            except ConvergenceError:
+                if raise_on_fail:
+                    raise
+                return None
+
+        def _restore(state) -> tuple[float, int]:
+            """Rewind (x, r, d) and the recorded histories to ``state``."""
+            ckpt.restore_into(state.x_parts, x)
+            ckpt.restore_into(state.r_parts, r)
+            ckpt.restore_into(state.d_parts, d)
+            del history[state.history_len :]
+            del alphas[state.coeff_len :]
+            del betas[state.coeff_len :]
+            return state.rz, state.iteration
+
         for _ in range(max_iterations):
             if history[-1] <= target:
                 converged = True
                 break
+            if ckpt is not None and ckpt.due(iterations):
+                ckpt.save(iterations, history[-1], rz, x, r, d)
             with tracer.span("pcg.iteration", index=iterations) as it_span:
                 with tracer.span("pcg.spmv"):
                     if ws is not None:
@@ -312,6 +349,11 @@ def pcg(
                 with tracer.span("pcg.dot"):
                     dad = d.dot(ad, tracker)
                 if dad <= 0 or not np.isfinite(dad):
+                    if ckpt is not None and ckpt.checkpoint is not None:
+                        state = _try_rollback("breakdown")
+                        if state is not None:
+                            rz, iterations = _restore(state)
+                            continue
                     it_span.set_tag("aborted", "not SPD or breakdown")
                     break  # matrix not SPD or breakdown
                 alpha = rz / dad
@@ -320,6 +362,13 @@ def pcg(
                     r.axpy(-alpha, ad)
                 with tracer.span("pcg.dot", kind="norm"):
                     history.append(r.norm2(tracker))
+                if ckpt is not None and ckpt.should_rollback(history[-1]):
+                    state = _try_rollback("divergence")
+                    if state is None:
+                        it_span.set_tag("aborted", "rollback budget exhausted")
+                        break
+                    rz, iterations = _restore(state)
+                    continue
                 with tracer.span("pcg.precond"):
                     z = _precond(r)
                 with tracer.span("pcg.dot"):

@@ -16,11 +16,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dist.partition_map import RowPartition
-from repro.errors import PartitionError
+from repro.errors import CommError, PartitionError, RankFailedError
 from repro.instrument import get_metrics, get_tracer
+from repro.mpisim.injection import get_injector
 from repro.mpisim.tracker import CommTracker
 
 __all__ = ["HaloSchedule"]
+
+#: Tag halo messages are accounted under (mirrors ``repro.dist.spmd``).
+_TAG_HALO = 7_000
 
 
 class HaloSchedule:
@@ -165,8 +169,9 @@ class HaloSchedule:
         sees the same accounting regardless of which kernel path ran.
         """
         tracer = get_tracer()
-        if tracer.enabled:
-            return self._update_traced(x_parts, tracker, tracer, out)
+        injector = get_injector()
+        if tracer.enabled or injector is not None:
+            return self._update_traced(x_parts, tracker, tracer, out, injector)
         part = self.partition
         metrics = get_metrics()
         record = metrics.enabled
@@ -206,14 +211,25 @@ class HaloSchedule:
         tracker: CommTracker | None,
         tracer,
         out: list[np.ndarray] | None = None,
+        injector=None,
     ) -> list[np.ndarray]:
-        """The :meth:`update` loop with per-rank spans and byte accounting."""
+        """The :meth:`update` loop with per-rank spans and byte accounting.
+
+        Also the fault-injected path: with an installed injector each
+        message runs through :meth:`_deliver_injected` (drop → retry with
+        backoff, delay, bit-flip) and each rank's stall/failure faults are
+        applied on entry to its exchange.
+        """
         part = self.partition
         metrics = get_metrics()
         halos = self._recv_buffers(out)
+        if injector is not None:
+            injector.begin_update()
         total_bytes = 0
         with tracer.span("halo.update", ranks=part.nparts):
             for p in range(part.nparts):
+                if injector is not None:
+                    self._apply_rank_faults(injector, tracer, metrics, p)
                 rank_bytes = 8 * sum(int(ids.size) for ids in self.recv_from[p].values())
                 total_bytes += rank_bytes
                 with tracer.span("halo.exchange", rank=p, bytes=rank_bytes,
@@ -224,6 +240,10 @@ class HaloSchedule:
                         nbytes = 8 * int(ids.size)
                         with tracer.span("halo.pack", src=q, dst=p, bytes=nbytes):
                             values = x_parts[q][self.recv_src[p][q]]
+                        if injector is not None:
+                            values = self._deliver_injected(
+                                injector, tracer, metrics, q, p, values
+                            )
                         with tracer.span("halo.unpack", src=q, dst=p, bytes=nbytes):
                             halos[p][self.recv_pos[p][q]] = values
                         if tracker is not None:
@@ -234,6 +254,66 @@ class HaloSchedule:
         metrics.counter("halo.updates").inc()
         metrics.counter("halo.bytes").inc(total_bytes)
         return halos
+
+    @staticmethod
+    def _apply_rank_faults(injector, tracer, metrics, rank: int) -> None:
+        """Raise on permanent failure; serve any pending transient stall."""
+        if injector.rank_failed(rank):
+            raise RankFailedError(rank)
+        seconds = injector.consume_stall(rank)
+        if seconds > 0:
+            metrics.counter("resilience.stalls").inc()
+            with tracer.span("resilience.stall", rank=rank, seconds=seconds):
+                injector.sleep(seconds)
+
+    @staticmethod
+    def _deliver_injected(injector, tracer, metrics, src: int, dst: int, values):
+        """Run one halo message through the installed fault plan.
+
+        Models a reliable transport over a lossy channel: a dropped
+        message — or one delayed past ``plan.message_timeout`` — costs a
+        retry (``halo.retries``) with linear backoff; exhausting
+        ``plan.max_retries`` counts a ``halo.timeouts`` and raises
+        :class:`~repro.errors.CommError`.  Sub-timeout delays sleep (capped
+        by the plan); bit-flips corrupt the delivered copy.
+        """
+        if injector.rank_failed(src):
+            raise RankFailedError(src)
+        plan = injector.plan
+        attempts = 0
+        while True:
+            verdict = injector.message_verdict(src, dst, _TAG_HALO)
+            if verdict.dropped or verdict.delay_s > plan.message_timeout:
+                attempts += 1
+                injector.record_retry()
+                metrics.counter("halo.retries", rank=dst).inc()
+                tracer.event(
+                    "resilience.retry",
+                    src=src,
+                    dst=dst,
+                    attempt=attempts,
+                    cause="drop" if verdict.dropped else "timeout",
+                )
+                if attempts > plan.max_retries:
+                    metrics.counter("halo.timeouts", rank=dst).inc()
+                    raise CommError(
+                        f"halo message {src}->{dst} lost {attempts} times "
+                        f"(max_retries={plan.max_retries}); giving up"
+                    )
+                with tracer.span("resilience.backoff", src=src, dst=dst,
+                                 attempt=attempts):
+                    injector.sleep(plan.backoff * attempts)
+                continue
+            break
+        if verdict.delay_s > 0:
+            with tracer.span("resilience.delay", src=src, dst=dst,
+                             seconds=verdict.delay_s):
+                injector.sleep(verdict.delay_s)
+        if verdict.flip_bit is not None:
+            values = injector.corrupt(values, verdict)
+            metrics.counter("resilience.bitflips").inc()
+            tracer.event("resilience.bitflip", src=src, dst=dst, bit=verdict.flip_bit)
+        return values
 
     # ------------------------------------------------------------------
     def __eq__(self, other) -> bool:

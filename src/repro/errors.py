@@ -28,6 +28,30 @@ class CommError(ReproError):
     """Misuse of the simulated MPI runtime (bad rank, tag, deadlock...)."""
 
 
+class RankFailedError(CommError):
+    """A rank failed permanently under an installed fault plan.
+
+    Raised by the halo-update / message-passing layers when a
+    :class:`repro.resilience.RankFailure` fault activates.  Carries the
+    failed rank so degraded-mode recovery
+    (:func:`repro.resilience.solve_with_failover`) can re-partition its
+    rows onto the survivors.
+
+    Attributes
+    ----------
+    rank:
+        The rank declared failed.
+    """
+
+    def __init__(self, rank: int, message: str | None = None):
+        super().__init__(message or f"rank {rank} failed permanently (injected fault)")
+        self.rank = int(rank)
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (bad probability, rank, schema)."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its tolerance within max iterations.
 

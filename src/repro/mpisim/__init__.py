@@ -13,10 +13,18 @@ Public surface:
 * :class:`Comm`, :class:`ThreadComm`, :class:`SelfComm` — communicators.
 * :data:`SUM`, :data:`MAX`, :data:`MIN` — reduction operators.
 * :class:`CommTracker`, :func:`payload_nbytes` — traffic accounting.
+* :func:`get_injector` / :func:`install_injector` / :func:`clear_injector` —
+  the fault-injection hook consumed by :mod:`repro.resilience`.
 """
 
 from repro.mpisim.comm import ANY_TAG, MAX, MIN, SUM, Comm, ReduceOp, SelfComm
 from repro.mpisim.engine import Request, ThreadComm, run_spmd, waitall
+from repro.mpisim.injection import (
+    DuplicateEnvelope,
+    clear_injector,
+    get_injector,
+    install_injector,
+)
 from repro.mpisim.tracker import CommTracker, payload_nbytes
 
 __all__ = [
@@ -33,4 +41,8 @@ __all__ = [
     "run_spmd",
     "CommTracker",
     "payload_nbytes",
+    "get_injector",
+    "install_injector",
+    "clear_injector",
+    "DuplicateEnvelope",
 ]

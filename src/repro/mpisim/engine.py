@@ -18,9 +18,10 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import CommError
+from repro.errors import CommError, RankFailedError
 from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.comm import ANY_TAG, Comm
+from repro.mpisim.injection import DuplicateEnvelope, get_injector
 from repro.mpisim.tracker import CommTracker, payload_nbytes
 
 __all__ = ["ThreadComm", "Request", "run_spmd", "waitall"]
@@ -87,6 +88,7 @@ class ThreadComm(Comm):
         self.tracker = tracker
         self._timeout = timeout
         self._pending: list[tuple[int, int, Any]] = []  # out-of-order stash
+        self._seen_dups: set[int] = set()  # sequence ids of delivered duplicates
 
     # ------------------------------------------------------------------
     def send(self, obj, dest: int, tag: int = 0) -> None:
@@ -101,6 +103,9 @@ class ThreadComm(Comm):
             raise CommError("send to self is not supported; restructure the exchange")
         if isinstance(obj, np.ndarray):
             obj = obj.copy()
+        injector = get_injector()
+        if injector is not None:
+            obj = self._inject_on_send(injector, obj, dest, tag)
         tracer = get_tracer()
         if self.tracker is not None or tracer.enabled:
             nbytes = payload_nbytes(obj)
@@ -113,6 +118,86 @@ class ThreadComm(Comm):
                 metrics.counter("mpisim.messages").inc()
                 metrics.counter("mpisim.bytes").inc(nbytes)
         self._mailboxes[dest].put((self.rank, tag, obj))
+
+    def _apply_rank_faults(self, injector) -> None:
+        """Raise on permanent failure; serve any pending transient stall.
+
+        Called on entry to every injected send/recv, so ``at_update`` in a
+        stall/failure rule counts this rank's communication operations.
+        """
+        if injector.rank_failed(self.rank):
+            raise RankFailedError(self.rank)
+        seconds = injector.consume_stall(self.rank)
+        if seconds > 0:
+            tracer = get_tracer()
+            get_metrics().counter("resilience.stalls").inc()
+            with tracer.span("resilience.stall", rank=self.rank, seconds=seconds):
+                injector.sleep(seconds)
+
+    def _inject_on_send(self, injector, obj, dest: int, tag: int):
+        """Run one outgoing message through the installed fault plan.
+
+        Reliable-transport semantics: drops and over-timeout delays cost a
+        retry (``mpisim.retries``) with linear backoff until the plan's
+        ``max_retries`` is exhausted (``mpisim.timeouts`` +
+        :class:`~repro.errors.CommError`).  Returns the payload to enqueue
+        — possibly bit-flipped, possibly wrapped in a
+        :class:`~repro.mpisim.injection.DuplicateEnvelope` (in which case
+        the extra copy is enqueued here and deduplicated by the receiver).
+        """
+        self._apply_rank_faults(injector)
+        plan = injector.plan
+        tracer = get_tracer()
+        metrics = get_metrics()
+        attempts = 0
+        while True:
+            verdict = injector.message_verdict(self.rank, dest, tag)
+            if verdict.dropped or verdict.delay_s > plan.message_timeout:
+                attempts += 1
+                injector.record_retry()
+                metrics.counter("mpisim.retries", rank=self.rank).inc()
+                tracer.event(
+                    "resilience.retry",
+                    src=self.rank,
+                    dst=dest,
+                    attempt=attempts,
+                    cause="drop" if verdict.dropped else "timeout",
+                )
+                if attempts > plan.max_retries:
+                    metrics.counter("mpisim.timeouts", rank=self.rank).inc()
+                    raise CommError(
+                        f"send {self.rank}->{dest} (tag {tag}) lost {attempts} "
+                        f"times (max_retries={plan.max_retries}); giving up"
+                    )
+                with tracer.span("resilience.backoff", src=self.rank, dst=dest,
+                                 attempt=attempts):
+                    injector.sleep(plan.backoff * attempts)
+                continue
+            break
+        if verdict.delay_s > 0:
+            with tracer.span("resilience.delay", src=self.rank, dst=dest,
+                             seconds=verdict.delay_s):
+                injector.sleep(verdict.delay_s)
+        if verdict.flip_bit is not None:
+            obj = injector.corrupt(obj, verdict)
+            metrics.counter("resilience.bitflips").inc()
+            tracer.event("resilience.bitflip", src=self.rank, dst=dest,
+                         bit=verdict.flip_bit)
+        if verdict.duplicated:
+            obj = DuplicateEnvelope(injector.next_duplicate_seq(), obj)
+            metrics.counter("mpisim.dup_messages").inc()
+            tracer.event("resilience.duplicate", src=self.rank, dst=dest, seq=obj.seq)
+            self._mailboxes[dest].put((self.rank, tag, obj))  # the extra copy
+        return obj
+
+    def _accept(self, obj) -> tuple[bool, Any]:
+        """Unwrap duplicate envelopes; ``(False, None)`` for stale copies."""
+        if isinstance(obj, DuplicateEnvelope):
+            if obj.seq in self._seen_dups:
+                return False, None
+            self._seen_dups.add(obj.seq)
+            return True, obj.payload
+        return True, obj
 
     def isend(self, obj, dest: int, tag: int = 0) -> Request:
         """Nonblocking send: buffered, hence complete on return."""
@@ -134,15 +219,24 @@ class ThreadComm(Comm):
         self._check_peer(source)
         if source == self.rank:
             raise CommError("recv from self is not supported")
+        injector = get_injector()
+        if injector is not None:
+            self._apply_rank_faults(injector)
         limit = self._timeout if timeout is None else timeout
         tracer = get_tracer()
         # check the stash of earlier non-matching messages first
-        for k, (src, t, obj) in enumerate(self._pending):
+        k = 0
+        while k < len(self._pending):
+            src, t, obj = self._pending[k]
             if src == source and (tag == ANY_TAG or t == tag):
                 del self._pending[k]
+                deliver, payload = self._accept(obj)
+                if not deliver:
+                    continue  # stale duplicate; keep scanning from k
                 if tracer.enabled:
                     tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
-                return obj
+                return payload
+            k += 1
         if tracer.enabled:
             with tracer.span("mpisim.wait", rank=self.rank, src=source, tag=tag):
                 return self._recv_blocking(source, tag, limit, tracer)
@@ -158,9 +252,12 @@ class ThreadComm(Comm):
                     f"after {limit}s — likely deadlock or missing send"
                 ) from None
             if src == source and (tag == ANY_TAG or t == tag):
+                deliver, payload = self._accept(obj)
+                if not deliver:
+                    continue  # stale duplicate of an already-delivered message
                 if tracer.enabled:
                     tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
-                return obj
+                return payload
             self._pending.append((src, t, obj))
 
 

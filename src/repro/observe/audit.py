@@ -85,6 +85,7 @@ class InvarianceVerdict:
         )
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "base": self.base,
             "other": self.other,
@@ -269,9 +270,11 @@ class PrecondAudit:
         return self.g.invariant and self.gt.invariant
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {"invariant": self.invariant, "g": self.g.to_dict(), "gt": self.gt.to_dict()}
 
     def render(self) -> str:
+        """Human-readable text rendering."""
         return "\n".join([self.g.render(), self.gt.render()])
 
 

@@ -104,6 +104,7 @@ class BalanceReport:
     # queries -----------------------------------------------------------
     @property
     def ranks(self) -> int:
+        """Number of ranks the report covers."""
         return len(self.loads)
 
     @property
@@ -125,6 +126,7 @@ class BalanceReport:
         return [r for r, load in enumerate(self.loads) if not lo <= load <= hi]
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "ranks": self.ranks,
             "band": list(self.band),
@@ -138,6 +140,7 @@ class BalanceReport:
         }
 
     def render(self) -> str:
+        """Human-readable text rendering."""
         lo, hi = self.band
         lines = [
             f"load balance over {self.ranks} rank(s), band [{lo:g}, {hi:g}]: "

@@ -117,6 +117,7 @@ class MethodFacts:
 
     @property
     def extra_nnz_percent(self) -> float:
+        """Pattern growth over the FSAI baseline, in percent."""
         if not self.base_nnz:
             return 0.0
         return 100.0 * (self.nnz - self.base_nnz) / self.base_nnz
@@ -130,6 +131,7 @@ class MethodFacts:
         return max(self.nnz_per_rank) / mean if mean else 1.0
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "method": self.method,
             "iterations": self.iterations,
@@ -172,6 +174,7 @@ class Suspect:
     detail: str
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {"name": self.name, "method": self.method, "detail": self.detail}
 
 
@@ -185,6 +188,7 @@ class AttributionVerdict:
     meta: dict = field(default_factory=dict)
 
     def facts_for(self, method: str) -> MethodFacts | None:
+        """Facts of one method by name (``None`` when absent)."""
         for f in self.facts:
             if f.method == method:
                 return f
@@ -200,6 +204,7 @@ class AttributionVerdict:
 
     @property
     def headline(self) -> str:
+        """One-line summary of the verdict."""
         parts = []
         for f in self.facts:
             if f.method == self.baseline:
@@ -221,6 +226,7 @@ class AttributionVerdict:
 
     # persistence -------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "format": EXPLAIN_FORMAT,
             "version": EXPLAIN_VERSION,
@@ -255,6 +261,7 @@ class AttributionVerdict:
         )
 
     def save(self, path, *, indent: int | None = 2) -> Path:
+        """Write as JSON; returns the path."""
         path = Path(path)
         path.write_text(json.dumps(self.to_dict(), indent=indent) + "\n")
         return path
@@ -275,6 +282,7 @@ class AttributionVerdict:
 
     # rendering ---------------------------------------------------------
     def render(self) -> str:
+        """Human-readable text rendering."""
         lines = [f"attribution verdict — {self.headline}", ""]
         for f in self.facts:
             lines.append(f"[{f.method}]")

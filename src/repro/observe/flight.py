@@ -58,6 +58,7 @@ class DriftCheck:
     drift: float
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "index": self.index,
             "true_residual": self.true_residual,

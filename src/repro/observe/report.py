@@ -101,17 +101,20 @@ class MetricDelta:
 
     @property
     def delta(self) -> float | None:
+        """Signed relative change against the baseline (``None`` if undefined)."""
         if self.base is None or self.other is None:
             return None
         return self.other - self.base
 
     @property
     def ok(self) -> bool:
+        """Whether the change is within the applied tolerance."""
         if self.base is None or self.other is None:
             return False
         return abs(self.other - self.base) <= self.abs_tol + self.rel_tol * abs(self.base)
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "name": self.name,
             "base": self.base,
@@ -141,6 +144,7 @@ class ReportComparison:
         return [d for d in self.deltas if not d.ok]
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "base": self.base_label,
             "other": self.other_label,
@@ -149,6 +153,7 @@ class ReportComparison:
         }
 
     def render(self, *, only_failures: bool = False) -> str:
+        """Human-readable text rendering."""
         rows = []
         for d in self.deltas:
             if only_failures and d.ok:
@@ -193,6 +198,7 @@ class RunReport:
 
     @property
     def label(self) -> str:
+        """Display label of this report."""
         return str(self.meta.get("label", "run"))
 
     # construction ------------------------------------------------------
@@ -344,6 +350,12 @@ class RunReport:
             return cls.from_solver_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
+        if fmt == "repro-chaos-report":
+            raise ReportError(
+                f"{path} is a chaos survival report — inspect it with "
+                "'repro chaos' / repro.resilience.ChaosReport.load, not "
+                "'repro report'"
+            )
         raise ReportError(
             f"{path}: unrecognised document (format={fmt!r}); expected a "
             f"{REPORT_FORMAT!r} report, a 'repro-trace' export, or a "
@@ -400,6 +412,7 @@ class RunReport:
 
     # persistence -------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "format": REPORT_FORMAT,
             "version": REPORT_VERSION,

@@ -68,6 +68,9 @@ _SCAFFOLD_NAMES = frozenset({"spmd.rank"})
 #: Ordered substring rules mapping span names to segment kinds.
 _KIND_RULES = (
     (".wait", "wait"),
+    ("resilience.stall", "wait"),
+    ("resilience.delay", "wait"),
+    ("resilience.backoff", "wait"),
     ("halo.pack", "pack"),
     ("halo.unpack", "pack"),
     ("halo.update", "pack"),
@@ -108,9 +111,11 @@ class Segment:
 
     @property
     def duration(self) -> float:
+        """Segment length in seconds."""
         return self.end - self.start
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         d = {
             "rank": self.rank,
             "name": self.name,
@@ -137,6 +142,7 @@ class CommEdge:
     wait_seconds: float = 0.0
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "src": self.src,
             "dst": self.dst,
@@ -165,6 +171,7 @@ class CriticalPath:
         return ranked[:k]
 
     def to_dict(self, *, top_k: int = 5) -> dict:
+        """JSON-serialisable form."""
         return {
             "length_seconds": self.length,
             "n_segments": len(self.segments),
@@ -355,14 +362,17 @@ class Timeline:
     # aggregate queries -------------------------------------------------
     @property
     def ranks(self) -> list[int]:
+        """Sorted rank ids present in the timeline."""
         return sorted({s.rank for s in self.segments})
 
     @property
     def t0(self) -> float:
+        """Earliest timestamp in the timeline."""
         return min((s.start for s in self.segments), default=0.0)
 
     @property
     def t1(self) -> float:
+        """Latest timestamp in the timeline."""
         return max((s.end for s in self.segments), default=0.0)
 
     @property
@@ -516,6 +526,7 @@ class Timeline:
 
     # persistence -------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "format": TIMELINE_FORMAT,
             "version": TIMELINE_VERSION,
@@ -527,6 +538,7 @@ class Timeline:
         }
 
     def save(self, path, *, indent: int | None = 2) -> Path:
+        """Write as JSON; returns the path."""
         path = Path(path)
         path.write_text(json.dumps(self.to_dict(), indent=indent) + "\n")
         return path
@@ -656,6 +668,7 @@ class HaloCriticalPath:
     messages: int
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form."""
         return {
             "rank": self.rank,
             "edges": [list(e) for e in self.edges],
@@ -664,6 +677,7 @@ class HaloCriticalPath:
         }
 
     def render(self) -> str:
+        """Human-readable text rendering."""
         hops = ", ".join(f"{s}->{d}:{b}B" for s, d, b in self.edges)
         return (
             f"halo critical path: rank {self.rank} receives {self.total_bytes} B "

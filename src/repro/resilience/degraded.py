@@ -1,0 +1,209 @@
+"""Degraded mode: survive a permanent rank failure by re-partitioning.
+
+When an installed :class:`~repro.resilience.RankFailure` fault fires, the
+halo update raises :class:`~repro.errors.RankFailedError`.  The recovery
+here re-assigns the failed rank's rows to one (or more) surviving ranks —
+the *absorbers* — renumbers the survivors into a compact communicator of
+``nparts − 1`` ranks, and rebuilds the distributed matrix and halo
+schedule on the new partition.
+
+The structural guarantee, checked through the existing communication-
+invariance auditor (:mod:`repro.observe.audit`): halo edges between two
+survivors that are **not** absorbers are byte-for-byte identical before
+and after the failover — only edges touching the failed rank or an
+absorber are rebuilt.  :func:`degrade_system` computes that verdict
+(:attr:`DegradedSystem.audit`) and raises if it does not hold, so a bug
+in the rebuild can never masquerade as a successful recovery.
+
+:func:`solve_with_failover` packages the whole story: run PCG, catch the
+failure, acknowledge it with the installed injector (rank ids refer to
+the original communicator), rebuild, and re-solve on the survivors.  The
+restart is cold — production systems would warm-start from a global
+checkpoint; at this scale a cold restart keeps the recovery path small
+and exactly as deterministic as a fresh solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dist.matrix import DistMatrix
+from repro.dist.partition_map import RowPartition
+from repro.dist.vector import DistVector
+from repro.errors import PartitionError, RankFailedError
+from repro.instrument import get_metrics, get_tracer
+from repro.mpisim.injection import get_injector
+from repro.observe.audit import InvarianceVerdict, compare_snapshots, schedule_snapshot
+
+__all__ = ["DegradedSystem", "degrade_system", "degrade_vector", "solve_with_failover", "FailoverResult"]
+
+
+@dataclass
+class DegradedSystem:
+    """Outcome of a rank-failure re-partition.
+
+    ``rank_map`` translates surviving old rank ids to their new ids (old
+    ranks above the failed one shift down by one).  ``audit`` is the
+    invariance verdict over the *unaffected* edges — those between
+    survivors that absorbed nothing — and is invariant by construction.
+    """
+
+    partition: RowPartition
+    matrix: DistMatrix
+    failed_rank: int
+    absorbers: tuple[int, ...]
+    rank_map: dict[int, int]
+    audit: InvarianceVerdict
+
+    @property
+    def nparts(self) -> int:
+        """Rank count of the degraded communicator."""
+        return self.partition.nparts
+
+
+def _filtered_snapshot(schedule, keep: Callable[[int, int], bool], remap=None) -> dict:
+    """A schedule snapshot restricted to edges ``keep(src, dst)`` selects.
+
+    ``remap`` translates rank ids (new → old) before filtering so degraded
+    and original schedules compare in one id space.
+    """
+    snap = schedule_snapshot(schedule)
+    out: dict = {"p2p_messages": {}, "p2p_bytes": {}, "collective_calls": {},
+                 "collective_bytes": {}}
+    for kind in ("p2p_messages", "p2p_bytes"):
+        for (src, dst), value in snap[kind].items():
+            if remap is not None:
+                src, dst = remap[src], remap[dst]
+            if keep(src, dst):
+                out[kind][(src, dst)] = value
+    return out
+
+
+def degrade_system(
+    mat: DistMatrix, failed_rank: int, *, absorbers: tuple[int, ...] | None = None
+) -> DegradedSystem:
+    """Re-partition ``mat`` after ``failed_rank`` dies; audit the rebuild.
+
+    ``absorbers`` names the surviving (old) ranks that inherit the failed
+    rank's rows, round-robin; by default the survivor owning the fewest
+    rows takes all of them, which keeps the set of rebuilt halo edges
+    minimal.  Raises :class:`~repro.errors.PartitionError` when the
+    unaffected-edge invariance audit fails (a rebuild bug) or fewer than
+    two ranks remain.
+    """
+    part = mat.partition
+    if not 0 <= failed_rank < part.nparts:
+        raise PartitionError(f"failed rank {failed_rank} out of range")
+    if part.nparts < 2:
+        raise PartitionError("cannot degrade a single-rank partition")
+    survivors = [r for r in range(part.nparts) if r != failed_rank]
+    if absorbers is None:
+        absorbers = (min(survivors, key=part.size_of),)
+    absorbers = tuple(int(a) for a in absorbers)
+    if any(a == failed_rank or not 0 <= a < part.nparts for a in absorbers):
+        raise PartitionError(f"absorbers {absorbers} must be surviving ranks")
+
+    rank_map = {old: new for new, old in enumerate(survivors)}
+    new_owner = part.owner.copy()
+    failed_rows = part.global_ids[failed_rank]
+    for i, g in enumerate(failed_rows):
+        new_owner[g] = absorbers[i % len(absorbers)]
+    new_owner = np.array([rank_map[int(r)] for r in new_owner], dtype=np.int64)
+    new_part = RowPartition(new_owner, part.nparts - 1)
+
+    with get_tracer().span("resilience.rebuild", failed_rank=failed_rank,
+                           absorbers=list(absorbers)):
+        new_mat = DistMatrix.from_global(mat.to_global(), new_part)
+
+    inverse = {new: old for old, new in rank_map.items()}
+    affected = set(absorbers) | {failed_rank}
+
+    def unaffected(src: int, dst: int) -> bool:
+        return src not in affected and dst not in affected
+
+    audit = compare_snapshots(
+        _filtered_snapshot(mat.schedule, unaffected),
+        _filtered_snapshot(new_mat.schedule, unaffected, remap=inverse),
+        base_label=f"original (rank {failed_rank} failed)",
+        other_label="degraded/unaffected",
+    )
+    if not audit.invariant:
+        raise PartitionError(
+            "degraded rebuild changed halo edges it must not touch:\n" + audit.render()
+        )
+    metrics = get_metrics()
+    metrics.counter("resilience.failovers").inc()
+    metrics.gauge("resilience.degraded_ranks").set(new_part.nparts)
+    return DegradedSystem(
+        partition=new_part,
+        matrix=new_mat,
+        failed_rank=int(failed_rank),
+        absorbers=absorbers,
+        rank_map=rank_map,
+        audit=audit,
+    )
+
+
+def degrade_vector(vec: DistVector, system: DegradedSystem) -> DistVector:
+    """Move a distributed vector onto the degraded partition."""
+    return DistVector.from_global(vec.to_global(), system.partition)
+
+
+@dataclass
+class FailoverResult:
+    """A solve that may have survived a permanent rank failure.
+
+    ``system`` is ``None`` when no failure occurred; otherwise the solve
+    in ``result`` ran on the degraded partition it describes.
+    """
+
+    result: object
+    system: DegradedSystem | None = None
+
+    @property
+    def failed_over(self) -> bool:
+        """True when a rank failure was absorbed."""
+        return self.system is not None
+
+
+def solve_with_failover(
+    mat: DistMatrix,
+    b: DistVector,
+    *,
+    precond_builder: Callable | None = None,
+    absorbers: tuple[int, ...] | None = None,
+    **pcg_kwargs,
+) -> FailoverResult:
+    """PCG that survives one permanent rank failure by degrading.
+
+    ``precond_builder(A_global, partition)`` constructs the preconditioner
+    for a given partition (e.g. :func:`repro.core.build_fsai`); it is
+    called for the initial partition and again after a failover, because a
+    preconditioner's halo schedules are partition-specific.  Remaining
+    keyword arguments are forwarded to :func:`repro.core.cg.pcg`.
+
+    On :class:`~repro.errors.RankFailedError` the failure is acknowledged
+    with the installed fault injector, the system is rebuilt via
+    :func:`degrade_system`, and the solve restarts cold on the survivors.
+    """
+    from repro.core.cg import pcg
+
+    def build(m: DistMatrix):
+        if precond_builder is None:
+            return None
+        return precond_builder(m.to_global(), m.partition)
+
+    try:
+        return FailoverResult(pcg(mat, b, precond=build(mat), **pcg_kwargs))
+    except RankFailedError as exc:
+        injector = get_injector()
+        if injector is not None:
+            injector.acknowledge_failure(exc.rank)
+        get_tracer().event("resilience.rank_failure", rank=exc.rank)
+        system = degrade_system(mat, exc.rank, absorbers=absorbers)
+        b2 = degrade_vector(b, system)
+        result = pcg(system.matrix, b2, precond=build(system.matrix), **pcg_kwargs)
+        return FailoverResult(result, system)

@@ -1,0 +1,41 @@
+"""CI gate: the resilience subsystem's survival contracts hold.
+
+Runs ``scripts/check_resilience.py`` as a subprocess (exactly how CI and
+developers invoke it) and asserts a clean exit.  The gate solves the
+reference system several times (clean baseline, acceptance scenario,
+failover, quick chaos menu), so the test carries the ``chaos_smoke``
+marker — deselect with ``-m "not chaos_smoke"`` for a fast tier-1 run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_script(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(REPO / "scripts" / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=480,
+    )
+
+
+@pytest.mark.chaos_smoke
+def test_resilience_gate_is_clean():
+    proc = run_script("check_resilience.py")
+    assert proc.returncode == 0, (
+        f"check_resilience.py failed:\n{proc.stdout}{proc.stderr}"
+    )
+    assert "resilience gate clean" in proc.stdout
