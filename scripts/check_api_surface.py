@@ -10,9 +10,9 @@ Checks, for every package listed in ``scripts/gen_api_docs.py``:
 2. every exported name appears in ``docs/API.md`` (the reference was
    regenerated after the surface last changed),
 3. the module has a docstring (the generated reference leads with it), and
-4. for the packages in :data:`DOC_COVERAGE` — the observability, kernel and
-   resilience layers, whose contracts live in prose — every exported
-   function/class *and every public method* carries a docstring.
+4. for the packages in :data:`DOC_COVERAGE` — the observability, kernel,
+   backend and resilience layers, whose contracts live in prose — every
+   exported function/class *and every public method* carries a docstring.
 
 Exit code 0 when clean; 1 with a line per violation otherwise.  Wired into
 the test suite as ``tests/test_api_surface.py``.
@@ -32,7 +32,7 @@ from gen_api_docs import PACKAGES  # noqa: E402 — sibling script, same list
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 #: Packages whose exported callables must all be docstring-covered.
-DOC_COVERAGE = ("repro.observe", "repro.kernels", "repro.resilience")
+DOC_COVERAGE = ("repro.observe", "repro.kernels", "repro.backend", "repro.resilience")
 
 
 def check_doc_coverage(modname: str) -> list[str]:

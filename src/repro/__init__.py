@@ -40,12 +40,14 @@ export with :func:`repro.instrument.write_chrome_trace` (or run
 ``python -m repro trace``).
 """
 
+from repro.backend import ArrayBackend, get_backend
 from repro.core import (
     CGResult,
     FilterSpec,
     FSAIOptions,
     Preconditioner,
     PrecondOptions,
+    SetupOptions,
     build_fsai,
     build_fsaie,
     build_fsaie_comm,
@@ -74,6 +76,7 @@ __all__ = [
     # core
     "FSAIOptions",
     "FilterSpec",
+    "SetupOptions",
     "PrecondOptions",
     "Preconditioner",
     "build_fsai",
@@ -91,6 +94,9 @@ __all__ = [
     # kernels
     "SpMVPlan",
     "SolverWorkspace",
+    # backend
+    "ArrayBackend",
+    "get_backend",
     # sparse
     "CSRMatrix",
     "SparsityPattern",

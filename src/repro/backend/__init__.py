@@ -1,0 +1,42 @@
+"""Multi-backend array layer — NumPy today, CuPy when a device is present.
+
+The hot-path layers (:mod:`repro.kernels`, :mod:`repro.core.fsai`,
+:mod:`repro.dist.halo`) do their array work through an
+:class:`ArrayBackend` instead of a hard ``numpy`` import.  A backend bundles
+the array namespace (``backend.xp``), host/device movement
+(``to_device`` / ``from_device``) and capability flags
+(``supports_reduceat``, ``supports_batched_solve``) that kernel planners
+consult before choosing a code path.
+
+Selection goes through :func:`get_backend`::
+
+    from repro.backend import get_backend
+
+    backend = get_backend("auto")          # CuPy if usable, else NumPy
+    plan = SpMVPlan(mat, backend=backend)
+
+Requesting ``"cupy"`` without CuPy installed (or without a CUDA device)
+falls back to NumPy with a single :class:`BackendFallbackWarning` — every
+consumer keeps working NumPy-only.  Selection outcomes are observable via
+the ``backend.selected`` / ``backend.fallbacks`` metrics.
+
+See ``docs/BACKENDS.md`` for selection rules, capability semantics and how
+the batched FSAI setup exploits the namespace.
+"""
+
+from repro.backend.array import ArrayBackend, numpy_backend
+from repro.backend.select import (
+    BackendFallbackWarning,
+    available_backends,
+    get_backend,
+    reset_backend_cache,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendFallbackWarning",
+    "available_backends",
+    "get_backend",
+    "numpy_backend",
+    "reset_backend_cache",
+]

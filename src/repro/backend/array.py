@@ -1,0 +1,100 @@
+"""The :class:`ArrayBackend` abstraction — one object per array namespace.
+
+An :class:`ArrayBackend` bundles everything the hot-path layers need to stay
+array-library-agnostic: the array namespace module itself (``xp``), host ↔
+device movement (:meth:`to_device` / :meth:`from_device`), and capability
+flags the kernel planners consult before choosing a code path (GPU backends,
+for example, lack ``ufunc.reduceat`` — see ``docs/BACKENDS.md``).
+
+Backends are plain frozen descriptors: all selection/fallback policy lives in
+:func:`repro.backend.select.get_backend`.  Code that receives a backend never
+imports ``numpy``/``cupy`` directly for hot-loop arrays — it goes through
+``backend.xp`` so a CuPy (or future) namespace drops in without edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import ModuleType
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "numpy_backend"]
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """Array-namespace descriptor used by every hot-path layer.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``"numpy"``, ``"cupy"``); tagged onto the
+        ``backend.*`` instrumentation metrics.
+    xp:
+        The array namespace module.  Hot loops call ``backend.xp.take`` /
+        ``backend.xp.multiply`` / ``backend.xp.linalg.solve`` instead of a
+        hard ``numpy`` import.
+    is_gpu:
+        True when arrays live off-host and :meth:`from_device` implies a
+        transfer.
+    supports_reduceat:
+        Whether ``xp.add.reduceat`` exists.  CuPy ufuncs do not implement
+        ``reduceat``; :class:`repro.kernels.plan.SpMVPlan` consults this flag
+        and requires the ELLPACK layout on backends without it.
+    supports_batched_solve:
+        Whether ``xp.linalg.solve`` accepts stacked ``(m, k, k)`` operands —
+        the call the batched FSAI setup is built on.
+    """
+
+    name: str
+    xp: ModuleType = field(repr=False)
+    is_gpu: bool = False
+    supports_reduceat: bool = True
+    supports_batched_solve: bool = True
+
+    # ------------------------------------------------------------------
+    def asarray(self, arr, dtype=None):
+        """``arr`` as a backend array (no copy when already resident)."""
+        return self.xp.asarray(arr, dtype=dtype)
+
+    def to_device(self, arr):
+        """Move a host array onto the backend's device (no-op on NumPy)."""
+        return self.xp.asarray(arr)
+
+    def from_device(self, arr) -> np.ndarray:
+        """Move a backend array back to a host :class:`numpy.ndarray`.
+
+        NumPy arrays pass through unchanged; device backends use their
+        native export (``cupy.ndarray.get``).
+        """
+        if isinstance(arr, np.ndarray):
+            return arr
+        get = getattr(arr, "get", None)
+        if callable(get):
+            return get()
+        return np.asarray(arr)
+
+    def synchronize(self) -> None:
+        """Block until queued device work completes (no-op on NumPy).
+
+        Benchmarks call this around timed regions so asynchronous device
+        launches do not fake speedups.
+        """
+        if not self.is_gpu:
+            return
+        cuda = getattr(self.xp, "cuda", None)
+        if cuda is not None:
+            cuda.get_current_stream().synchronize()
+
+    def is_native(self, arr) -> bool:
+        """Whether ``arr`` is an array of this backend's namespace."""
+        return isinstance(arr, self.xp.ndarray)
+
+    def __repr__(self) -> str:
+        return f"ArrayBackend({self.name!r}, gpu={self.is_gpu})"
+
+
+def numpy_backend() -> ArrayBackend:
+    """The host NumPy backend — always available, every capability on."""
+    return ArrayBackend(name="numpy", xp=np)

@@ -1,0 +1,138 @@
+"""Backend detection, selection and graceful fallback.
+
+:func:`get_backend` is the single entry point the rest of the library uses::
+
+    backend = get_backend("auto")     # CuPy with a live device, else NumPy
+    backend = get_backend("cupy")     # CuPy, or NumPy with ONE warning
+    backend = get_backend("numpy")    # always the host backend
+    backend = get_backend(None)       # the default (numpy) backend
+    backend = get_backend(existing)   # ArrayBackend instances pass through
+
+Requesting ``"cupy"`` on a machine without CuPy (or without a visible CUDA
+device) does **not** raise: it emits a single :class:`BackendFallbackWarning`
+per process, bumps the ``backend.fallbacks`` counter, and returns the NumPy
+backend — so one code path runs everywhere and GPU machines get the fast
+namespace for free.  ``"auto"`` probes silently.
+
+Detection follows the ``cupyx.distributed`` ``_environment`` idiom: import
+inside a ``try``, then *prove* a device is usable with a trivial runtime
+call before trusting the import (a CUDA-less CuPy install imports fine and
+fails at first kernel launch).  Resolved backends are cached per name;
+:func:`reset_backend_cache` clears the cache (tests, hot-plugged devices).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.backend.array import ArrayBackend, numpy_backend
+from repro.instrument import get_metrics
+
+__all__ = [
+    "BackendFallbackWarning",
+    "available_backends",
+    "get_backend",
+    "reset_backend_cache",
+]
+
+#: Names :func:`get_backend` accepts (besides ``None`` and instances).
+_KNOWN = ("numpy", "cupy", "auto")
+
+_cache: dict[str, ArrayBackend] = {}
+_warned: set[str] = set()
+
+
+class BackendFallbackWarning(UserWarning):
+    """A requested accelerator backend is unavailable; NumPy stands in."""
+
+
+def _probe_cupy() -> ArrayBackend | None:
+    """CuPy backend if importable *and* a CUDA device answers, else None."""
+    try:
+        import cupy  # noqa: PLC0415 — optional dependency, probed lazily
+
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            return None
+        # prove the device actually executes before trusting the import
+        cupy.asarray([0.0]).sum()
+    except Exception:
+        return None
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        is_gpu=True,
+        # CuPy ufuncs implement reduce but not reduceat; SpMV plans must use
+        # the ELLPACK layout on this backend (docs/BACKENDS.md).
+        supports_reduceat=False,
+        supports_batched_solve=True,
+    )
+
+
+def _fallback(requested: str, reason: str) -> ArrayBackend:
+    """NumPy stand-in for an unavailable backend: one warning per process."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("backend.fallbacks", requested=requested).inc()
+    if requested not in _warned:
+        _warned.add(requested)
+        warnings.warn(
+            f"backend {requested!r} is unavailable ({reason}); "
+            "falling back to numpy",
+            BackendFallbackWarning,
+            stacklevel=3,
+        )
+    return _cache.setdefault("numpy", numpy_backend())
+
+
+def get_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend name to an :class:`ArrayBackend` (cached).
+
+    ``None`` and ``"numpy"`` return the host backend; ``"cupy"`` returns the
+    CuPy backend or falls back to NumPy with a single
+    :class:`BackendFallbackWarning`; ``"auto"`` silently prefers CuPy when a
+    device is usable.  :class:`ArrayBackend` instances pass through, so APIs
+    can accept either spelling.  Unknown names raise :class:`ValueError`.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        name = "numpy"
+    if not isinstance(name, str):
+        raise TypeError(
+            f"backend must be a name or ArrayBackend, got {type(name).__name__}"
+        )
+    name = name.lower()
+    if name not in _KNOWN:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(_KNOWN)}"
+        )
+    cached = _cache.get(name)
+    if cached is not None:
+        return cached
+    if name == "numpy":
+        backend = numpy_backend()
+    elif name == "cupy":
+        backend = _probe_cupy()
+        if backend is None:
+            return _fallback("cupy", "no importable cupy with a usable device")
+    else:  # auto: silent preference order cupy -> numpy
+        backend = _probe_cupy() or _cache.setdefault("numpy", numpy_backend())
+    _cache[name] = backend
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("backend.selected", backend=backend.name).inc()
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names that resolve to a native (non-fallback) backend on this host."""
+    names = ["numpy"]
+    if _probe_cupy() is not None:
+        names.append("cupy")
+    return tuple(names)
+
+
+def reset_backend_cache() -> None:
+    """Drop cached backends and warning dedup state (test isolation)."""
+    _cache.clear()
+    _warned.clear()

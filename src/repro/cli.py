@@ -336,7 +336,9 @@ def cmd_bench(args) -> int:
     from repro.kernels.bench import DEFAULT_SIZES, format_summary, run_suite, write_suite
 
     sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else DEFAULT_SIZES
-    result = run_suite(sizes=sizes, reps=args.reps, quick=args.quick)
+    result = run_suite(
+        sizes=sizes, reps=args.reps, quick=args.quick, backend=args.backend
+    )
     path = write_suite(result, args.output)
     print(format_summary(result))
     print(f"\nwritten: {path}")
@@ -546,12 +548,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(fn=cmd_info)
 
     p_bench = sub.add_parser(
-        "bench", help="kernel microbenchmarks (plans, workspace, parallel setup)"
+        "bench", help="kernel microbenchmarks (plans, workspace, batched setup)"
     )
     p_bench.add_argument("--output", default="BENCH_kernels.json",
                          help="result JSON path")
     p_bench.add_argument("--sizes", help="comma-separated 2-D grid sizes, e.g. 32,64,96")
     p_bench.add_argument("--reps", type=int, default=5, help="repetitions (best-of)")
+    p_bench.add_argument(
+        "--backend", default=None, choices=("numpy", "cupy", "auto"),
+        help="array backend for the planned kernels and batched setup "
+             "(unavailable backends fall back to numpy with a warning)",
+    )
     p_bench.add_argument("--quick", action="store_true",
                          help="smoke-test sizes/reps (numbers indicative only)")
     p_bench.set_defaults(fn=cmd_bench)

@@ -33,7 +33,14 @@ from repro.core.filtering import (
     imbalance_index,
     relative_load,
 )
-from repro.core.fsai import FSAIOptions, compute_g_values, fsai_factor, fsai_pattern
+from repro.core.fsai import (
+    FSAIOptions,
+    SetupOptions,
+    compute_g_values,
+    compute_g_values_per_row,
+    fsai_factor,
+    fsai_pattern,
+)
 from repro.core.solvers import bicgstab, pipelined_pcg, steepest_descent
 from repro.core.spai import spai, spai_values
 from repro.core.spmd_setup import spmd_build_fsaie_comm
@@ -49,8 +56,10 @@ from repro.core.precond import (
 
 __all__ = [
     "FSAIOptions",
+    "SetupOptions",
     "fsai_pattern",
     "compute_g_values",
+    "compute_g_values_per_row",
     "fsai_factor",
     "FSPAIOptions",
     "fspai_pattern",

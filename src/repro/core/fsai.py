@@ -8,32 +8,55 @@ of ``A``.  Row ``i`` of ``G`` solves the small dense SPD system
     A[S_i, S_i] · y = e_m,     g_i = y / sqrt(y_m),
 
 with ``m`` the position of the diagonal inside ``S_i`` (Kolotilina–Yeremin
-1993; Chow 2001).  The scaling makes ``diag(G A Gᵀ) = 1``.  Rows are fully
-independent — the property that makes FSAI attractive on parallel machines —
-and are solved here in dtype-batched groups (all rows with equal pattern
-size share one stacked LAPACK call).
+1993; Chow 2001).  The scaling makes ``diag(G A Gᵀ) = 1``.
+
+Rows are fully independent — the property that makes FSAI attractive on
+parallel machines — and the setup exploits it as **batched row solves**:
+rows are grouped by pattern size ``k``, each group's local Gram blocks are
+gathered into one stacked ``(m, k, k)`` tensor with a single vectorised
+binary search over the matrix structure (no Python-level per-row loop), and
+each group is solved with one batched ``linalg.solve`` call.  All array work
+runs through an :class:`repro.backend.ArrayBackend` namespace, so the same
+code drives NumPy today and CuPy when a device is present
+(:class:`SetupOptions` selects backend, dtype and batching).
+
+:func:`compute_g_values_per_row` keeps the historical one-small-system-per-
+row loop as a reference implementation for equivalence tests and the
+``setup_batched`` microbenchmark.  The ``parallel=`` thread-pool knob is
+deprecated: the batched setup replaces it (the pool measured ~0.98x — see
+docs/BACKENDS.md).
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.errors import NotSPDError, ShapeError
 from repro.instrument import get_metrics
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import drop_small_relative
 from repro.sparse.pattern import SparsityPattern, power_pattern, threshold_pattern
 
-__all__ = ["FSAIOptions", "fsai_pattern", "compute_g_values", "fsai_factor"]
+__all__ = [
+    "FSAIOptions",
+    "SetupOptions",
+    "fsai_pattern",
+    "compute_g_values",
+    "compute_g_values_per_row",
+    "fsai_factor",
+]
 
 # Tikhonov shift (relative to the submatrix diagonal) applied when a local
 # system is numerically singular; mirrors production FSAI codes which guard
 # against breakdowns on near-degenerate patterns.
 _FALLBACK_SHIFT = 1e-12
+
+#: Compute dtypes the setup accepts (values are stored as float64 either way).
+_SETUP_DTYPES = {"float32": np.float32, "float64": np.float64}
 
 
 @dataclass(frozen=True)
@@ -64,6 +87,53 @@ class FSAIOptions:
             raise ValueError("level must be >= 1")
 
 
+@dataclass(frozen=True)
+class SetupOptions:
+    """How the FSAI values are computed — backend, precision, batching.
+
+    Collects the runtime knobs of the setup phase (formerly the flat
+    ``parallel=`` surface) into one sub-config, carried by
+    :class:`repro.core.precond.PrecondOptions` as ``setup=``.
+
+    Attributes
+    ----------
+    backend:
+        Array namespace for the batched solves: a name accepted by
+        :func:`repro.backend.get_backend` (``"numpy"``, ``"cupy"``,
+        ``"auto"``) or an :class:`~repro.backend.ArrayBackend` instance.
+        Unavailable accelerator backends fall back to NumPy with a single
+        warning.
+    dtype:
+        Compute precision of the Gram gather and batched solve,
+        ``"float64"`` (default) or ``"float32"``.  The returned ``G`` is
+        always stored as float64 CSR; float32 trades last-bits accuracy for
+        halved bandwidth during setup.
+    batched:
+        ``False`` routes to the per-row reference loop
+        (:func:`compute_g_values_per_row`) — equivalence testing and
+        benchmarking only; the batched path is strictly faster.
+    """
+
+    backend: str | ArrayBackend = "numpy"
+    dtype: str = "float64"
+    batched: bool = True
+
+    def __post_init__(self):
+        if isinstance(self.dtype, type) and issubclass(self.dtype, np.generic):
+            object.__setattr__(self, "dtype", np.dtype(self.dtype).name)
+        if self.dtype not in _SETUP_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(_SETUP_DTYPES)}, got {self.dtype!r}"
+            )
+        if not isinstance(self.backend, ArrayBackend):
+            get_backend(self.backend)  # validates the name eagerly
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The compute dtype as a NumPy dtype object."""
+        return np.dtype(_SETUP_DTYPES[self.dtype])
+
+
 def fsai_pattern(mat: CSRMatrix, options: FSAIOptions = FSAIOptions()) -> SparsityPattern:
     """Steps 1–2 of Alg. 1: the a-priori lower-triangular pattern of ``G``."""
     if mat.nrows != mat.ncols:
@@ -73,96 +143,171 @@ def fsai_pattern(mat: CSRMatrix, options: FSAIOptions = FSAIOptions()) -> Sparsi
     return powered.lower().with_diagonal()
 
 
-def _resolve_workers(parallel) -> int:
-    """Worker count from the ``parallel=`` knob (None/False→1, True→#cpus)."""
+def _consume_parallel(parallel) -> None:
+    """Validate and deprecate the legacy ``parallel=`` thread-pool knob.
+
+    The knob predates the batched setup and measured ~0.98x (thread-pool
+    overhead cancelled the GIL-released LAPACK calls).  It now warns and
+    routes to the batched implementation; worker counts are still validated
+    so old misuse keeps raising :class:`ValueError`.
+    """
     if parallel is None or parallel is False:
-        return 1
-    if parallel is True:
-        return os.cpu_count() or 1
-    workers = int(parallel)
-    if workers < 1:
-        raise ValueError(f"parallel must be a positive worker count, got {parallel}")
-    return workers
+        return
+    if parallel is not True:
+        workers = int(parallel)
+        if workers < 1:
+            raise ValueError(
+                f"parallel must be a positive worker count, got {parallel}"
+            )
+    warnings.warn(
+        "parallel= is deprecated and ignored: FSAI setup is vectorised into "
+        "batched group solves (pass setup=SetupOptions(...) to configure "
+        "backend/dtype instead)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _solve_group(
-    mat: CSRMatrix, pattern: SparsityPattern, rows: np.ndarray, k: int, data: np.ndarray
-) -> None:
-    """Solve one batch of same-size rows; write their values into ``data``.
-
-    Each row's entries occupy a disjoint ``data`` slice, so concurrent calls
-    on disjoint row sets never race.
-    """
-    subs = np.empty((rows.size, k, k), dtype=np.float64)
-    for b, i in enumerate(rows):
-        idx = pattern.row(i)
-        if idx[-1] != i:
-            raise ShapeError(f"row {i}: pattern is not lower triangular with diagonal")
-        subs[b] = mat.submatrix(idx, idx)
-    rhs = np.zeros((rows.size, k), dtype=np.float64)
-    rhs[:, k - 1] = 1.0
-    try:
-        ys = np.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
-        if not np.all(np.isfinite(ys)) or np.any(ys[:, k - 1] <= 0):
-            raise np.linalg.LinAlgError
-    except np.linalg.LinAlgError:
-        ys = _solve_rows_guarded(subs)
-    scale = 1.0 / np.sqrt(ys[:, k - 1])
-    ys *= scale[:, None]
-    for b, i in enumerate(rows):
-        lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
-        data[lo:hi] = ys[b]
-
-
-def compute_g_values(
-    mat: CSRMatrix, pattern: SparsityPattern, *, parallel=None
-) -> CSRMatrix:
-    """Step 3 of Alg. 1: fill in values of ``G`` on a lower-triangular pattern.
-
-    ``pattern`` must be lower triangular with a full diagonal.  Rows are
-    grouped by pattern size and solved with one batched ``numpy.linalg.solve``
-    per group; singular groups fall back to per-row solves with a tiny
-    diagonal shift.
-
-    ``parallel`` fans the row-group solves out over a thread pool (the
-    batched LAPACK calls release the GIL): ``True`` uses one worker per CPU,
-    an integer sets the worker count, ``None``/``False`` (default) solves
-    serially.  Groups are split into per-worker chunks, so on matrices where
-    the singular-group fallback triggers, the fallback may cover a different
-    row subset than the serial pass — results can then differ in the last
-    bits.  On well-conditioned SPD inputs serial and parallel agree exactly.
-    """
+def _check_pattern(mat: CSRMatrix, pattern: SparsityPattern) -> np.ndarray:
+    """Shared structural validation; returns per-row pattern sizes."""
     n = mat.nrows
     if pattern.shape != (n, n):
         raise ShapeError("pattern shape does not match the matrix")
     row_sizes = pattern.row_nnz()
     if np.any(row_sizes == 0):
         raise ShapeError("pattern must include every diagonal entry")
+    # lower triangular with the diagonal last in every row
+    diag_last = pattern.indices[pattern.indptr[1:] - 1]
+    bad = np.flatnonzero(diag_last != np.arange(n, dtype=np.int64))
+    if bad.size:
+        raise ShapeError(
+            f"row {int(bad[0])}: pattern is not lower triangular with diagonal"
+        )
+    return row_sizes
 
-    workers = _resolve_workers(parallel)
+
+def compute_g_values(
+    mat: CSRMatrix,
+    pattern: SparsityPattern,
+    *,
+    setup: SetupOptions | None = None,
+    parallel=None,
+) -> CSRMatrix:
+    """Step 3 of Alg. 1: fill in values of ``G`` on a lower-triangular pattern.
+
+    ``pattern`` must be lower triangular with a full diagonal.  Rows are
+    grouped by pattern size ``k``; each group's Gram blocks
+    ``A[S_i, S_i]`` are gathered into one stacked ``(m, k, k)`` tensor by a
+    vectorised binary search over the matrix structure and solved with a
+    single batched ``linalg.solve`` call on the configured backend.
+    Singular groups fall back to per-row solves with a tiny diagonal shift.
+
+    ``setup`` selects backend/dtype/batching (:class:`SetupOptions`); the
+    default computes in float64 on NumPy and matches the historical per-row
+    results to LAPACK rounding (see :func:`compute_g_values_per_row`).
+
+    .. deprecated::
+        ``parallel`` (the thread-pool fan-out) is ignored: the batched
+        implementation replaced it.  Passing it warns.
+    """
+    _consume_parallel(parallel)
+    setup = setup if setup is not None else SetupOptions()
+    if not setup.batched:
+        return compute_g_values_per_row(mat, pattern, dtype=setup.np_dtype)
+    row_sizes = _check_pattern(mat, pattern)
+    n = mat.nrows
+    backend = get_backend(setup.backend)
+    xp = backend.xp
+    dtype = setup.np_dtype
+
     data = np.empty(pattern.nnz, dtype=np.float64)
-    # group rows by |S_i| so each group is one stacked solve
+    # Global sorted entry keys row*ncols+col: one sorted array over which a
+    # batched binary search resolves every (row, col) Gram-block lookup.
+    stride = max(n, mat.ncols)
+    a_rows = np.repeat(np.arange(n, dtype=np.int64), mat.row_nnz())
+    keys = backend.asarray(a_rows * stride + mat.indices)
+    avals = backend.asarray(mat.data, dtype=dtype)
+    zero = dtype.type(0.0)
+
     groups = [(int(k), np.flatnonzero(row_sizes == k)) for k in np.unique(row_sizes)]
-    if workers == 1:
-        for k, rows in groups:
-            _solve_group(mat, pattern, rows, k, data)
-    else:
-        tasks: list[tuple[int, np.ndarray]] = []
-        for k, rows in groups:
-            chunk = max(16, -(-rows.size // workers))
-            tasks.extend(
-                (k, rows[off : off + chunk]) for off in range(0, rows.size, chunk)
+    for k, rows in groups:
+        m = rows.size
+        # stacked pattern indices of the group: (m, k), diagonal last
+        pos = pattern.indptr[rows][:, None] + np.arange(k, dtype=np.int64)
+        idx = pattern.indices[pos]
+        # gather the Gram blocks in one shot: query keys (m, k*k) against
+        # the global sorted keys, zero where the entry is structurally absent
+        queries = backend.asarray(
+            (idx[:, :, None] * stride + idx[:, None, :]).reshape(m, k * k)
+        )
+        loc = xp.searchsorted(keys, queries)
+        loc = xp.minimum(loc, keys.size - 1) if keys.size else loc
+        subs = xp.where(keys[loc] == queries, avals[loc], zero)
+        subs = subs.reshape(m, k, k)
+        rhs = xp.zeros((m, k), dtype=dtype)
+        rhs[:, k - 1] = 1.0
+        try:
+            ys = xp.linalg.solve(subs, rhs[:, :, None])[:, :, 0]
+            if not bool(xp.all(xp.isfinite(ys))) or bool(xp.any(ys[:, k - 1] <= 0)):
+                raise np.linalg.LinAlgError
+        except np.linalg.LinAlgError:
+            ys = _solve_rows_guarded(
+                backend.from_device(subs).astype(np.float64, copy=False)
             )
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_solve_group, mat, pattern, rows, k, data)
-                for k, rows in tasks
-            ]
-            for future in futures:
-                future.result()  # re-raise worker exceptions
-        metrics = get_metrics()
-        metrics.counter("fsai.parallel_tasks").inc(len(tasks))
-        metrics.gauge("fsai.setup_workers").set(workers)
+            ys = backend.asarray(ys, dtype=dtype)
+        ys = ys / xp.sqrt(ys[:, k - 1])[:, None]
+        data[pos] = backend.from_device(ys)
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("fsai.batched_groups").inc(len(groups))
+        metrics.counter("fsai.batched_rows").inc(n)
+        metrics.gauge("fsai.batched_max_block").set(
+            max((k for k, _ in groups), default=0)
+        )
+    return CSRMatrix(
+        (n, n), pattern.indptr.copy(), pattern.indices.copy(), data, check=False
+    )
+
+
+def compute_g_values_per_row(
+    mat: CSRMatrix,
+    pattern: SparsityPattern,
+    *,
+    dtype: np.dtype | type = np.float64,
+) -> CSRMatrix:
+    """Reference implementation of step 3: one dense solve per row.
+
+    The historical (seed) setup path, kept verbatim as the baseline the
+    batched implementation is equivalence-tested and benchmarked against
+    (``setup_batched`` in ``BENCH_kernels.json``).  Produces the same ``G``
+    structure as :func:`compute_g_values`; values agree to LAPACK rounding
+    (within 1e-12 on well-conditioned fp64 inputs).
+    """
+    row_sizes = _check_pattern(mat, pattern)
+    n = mat.nrows
+    dtype = np.dtype(dtype)
+    data = np.empty(pattern.nnz, dtype=np.float64)
+    rhs_cache: dict[int, np.ndarray] = {}
+    for i in range(n):
+        lo, hi = int(pattern.indptr[i]), int(pattern.indptr[i + 1])
+        idx = pattern.indices[lo:hi]
+        k = int(row_sizes[i])
+        sub = mat.submatrix(idx, idx).astype(dtype, copy=False)
+        rhs = rhs_cache.get(k)
+        if rhs is None:
+            rhs = np.zeros(k, dtype=dtype)
+            rhs[k - 1] = 1.0
+            rhs_cache[k] = rhs
+        try:
+            y = np.linalg.solve(sub, rhs)
+            if not np.all(np.isfinite(y)) or y[k - 1] <= 0:
+                raise np.linalg.LinAlgError
+        except np.linalg.LinAlgError:
+            y = _solve_rows_guarded(
+                sub.astype(np.float64, copy=False)[None, :, :]
+            )[0].astype(dtype)
+        data[lo:hi] = y / np.sqrt(y[k - 1])
     return CSRMatrix(
         (n, n), pattern.indptr.copy(), pattern.indices.copy(), data, check=False
     )
@@ -194,16 +339,22 @@ def _solve_rows_guarded(subs: np.ndarray) -> np.ndarray:
 
 
 def fsai_factor(
-    mat: CSRMatrix, options: FSAIOptions = FSAIOptions(), *, parallel=None
+    mat: CSRMatrix,
+    options: FSAIOptions = FSAIOptions(),
+    *,
+    setup: SetupOptions | None = None,
+    parallel=None,
 ) -> CSRMatrix:
     """Full Alg. 1: pattern, values, optional post-filter + recompute.
 
     Returns the lower-triangular factor ``G`` with ``GᵀG ≈ A⁻¹``.
-    ``parallel`` follows the :func:`compute_g_values` contract.
+    ``setup`` follows the :func:`compute_g_values` contract; ``parallel``
+    is deprecated and ignored (batched setup).
     """
+    _consume_parallel(parallel)
     pattern = fsai_pattern(mat, options)
-    g = compute_g_values(mat, pattern, parallel=parallel)
+    g = compute_g_values(mat, pattern, setup=setup)
     if options.post_filter > 0.0:
         filtered = drop_small_relative(g, options.post_filter)
-        g = compute_g_values(mat, SparsityPattern.from_csr(filtered), parallel=parallel)
+        g = compute_g_values(mat, SparsityPattern.from_csr(filtered), setup=setup)
     return g

@@ -41,7 +41,13 @@ from repro.core.filtering import (
     entry_ratios,
     extension_entry_mask,
 )
-from repro.core.fsai import FSAIOptions, compute_g_values, fsai_pattern
+from repro.core.fsai import (
+    FSAIOptions,
+    SetupOptions,
+    _consume_parallel,
+    compute_g_values,
+    fsai_pattern,
+)
 from repro.dist.matrix import DistMatrix
 from repro.dist.partition_map import RowPartition
 from repro.dist.vector import DistVector
@@ -70,6 +76,14 @@ _LEGACY_FILTER_KEYS = {
     "band": "band",
     "max_bisection": "max_bisection",
 }
+#: Legacy flat keywords forwarded into the ``setup`` sub-config.  ``parallel``
+#: maps to no field (the thread pool is gone); it is validated, warned about
+#: and dropped — the batched setup replaced it.
+_LEGACY_SETUP_KEYS = {
+    "backend": "backend",
+    "setup_dtype": "dtype",
+    "batched": "batched",
+}
 
 
 @dataclass(frozen=True, init=False)
@@ -89,32 +103,45 @@ class PrecondOptions:
     filter:
         Extension filtering specification (value, static/dynamic); a
         :class:`repro.core.filtering.FilterSpec` sub-config.
+    setup:
+        Runtime of the value computation (array backend, compute dtype,
+        batching); a :class:`repro.core.fsai.SetupOptions` sub-config.
 
     Deprecated spellings (still accepted, with a :class:`DeprecationWarning`):
     the flat FSAI keywords ``threshold`` / ``level`` / ``post_filter``
     (forwarded into ``fsai``), the flat filter keywords ``filter_value`` /
     ``dynamic`` / ``band`` / ``max_bisection`` (forwarded into ``filter``),
-    and a bare float for ``filter`` (coerced to ``FilterSpec(value)``).
+    the flat setup keywords ``backend`` / ``setup_dtype`` / ``batched``
+    (forwarded into ``setup``), ``parallel`` (validated, then dropped — the
+    batched setup replaced the thread pool), and a bare float for ``filter``
+    (coerced to ``FilterSpec(value)``).
     """
 
     fsai: FSAIOptions = FSAIOptions()
     line_bytes: int = 64
     filter: FilterSpec = FilterSpec()
+    setup: SetupOptions = SetupOptions()
 
     def __init__(
         self,
         fsai: FSAIOptions | None = None,
         line_bytes: int = 64,
         filter: FilterSpec | float | None = None,
+        setup: SetupOptions | None = None,
         **legacy,
     ):
         fsai_kw: dict = {}
         filter_kw: dict = {}
+        setup_kw: dict = {}
         for key, val in legacy.items():
             if key in _LEGACY_FSAI_KEYS:
                 fsai_kw[key] = val
             elif key in _LEGACY_FILTER_KEYS:
                 filter_kw[_LEGACY_FILTER_KEYS[key]] = val
+            elif key in _LEGACY_SETUP_KEYS:
+                setup_kw[_LEGACY_SETUP_KEYS[key]] = val
+            elif key == "parallel":
+                _consume_parallel(val)
             else:
                 raise TypeError(
                     f"PrecondOptions got an unexpected keyword argument {key!r}"
@@ -139,6 +166,19 @@ class PrecondOptions:
                 DeprecationWarning,
                 stacklevel=2,
             )
+        if setup_kw:
+            warnings.warn(
+                f"flat setup keywords {sorted(setup_kw)} are deprecated; pass "
+                "setup=SetupOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if setup is not None:
+                raise ValueError(
+                    "pass setup settings either via setup= or the flat legacy "
+                    "keywords, not both"
+                )
+            setup = SetupOptions(**setup_kw)
         if isinstance(filter, (int, float)) and not isinstance(filter, bool):
             warnings.warn(
                 "filter=<number> is deprecated; pass filter=FilterSpec(value)",
@@ -156,6 +196,7 @@ class PrecondOptions:
         object.__setattr__(self, "fsai", fsai if fsai is not None else FSAIOptions())
         object.__setattr__(self, "line_bytes", int(line_bytes))
         object.__setattr__(self, "filter", filter)
+        object.__setattr__(self, "setup", setup if setup is not None else SetupOptions())
 
 
 def _coerce_options(options: PrecondOptions | None, overrides: dict) -> PrecondOptions:
@@ -250,16 +291,19 @@ def build_fsai(
 
     ``options`` may be a :class:`PrecondOptions`; alternatively pass its
     fields as keyword arguments (``build_fsai(A, part, fsai=FSAIOptions(level=2))``).
-    ``parallel`` fans the row-group factor solves over a thread pool — see
-    :func:`repro.core.fsai.compute_g_values`.
+    The factor values are computed as batched row-group solves on the array
+    backend selected by ``options.setup`` — see
+    :func:`repro.core.fsai.compute_g_values`.  ``parallel`` (the legacy
+    thread-pool knob) is deprecated and ignored.
     """
+    _consume_parallel(parallel)
     options = _coerce_options(options, overrides)
     tracer = get_tracer()
     with tracer.span("precond.build", method="FSAI"):
         with tracer.span("precond.pattern"):
             pattern = fsai_pattern(mat, options.fsai)
         with tracer.span("precond.factor"):
-            g = compute_g_values(mat, pattern, parallel=parallel)
+            g = compute_g_values(mat, pattern, setup=options.setup)
         pre = _distribute("FSAI", g, partition, base_nnz=pattern.nnz,
                           filters=np.zeros(partition.nparts))
     _record_build_metrics(pre)
@@ -276,13 +320,12 @@ def build_fsaie(
 ) -> Preconditioner:
     """FSAIE: cache-friendly extension of local entries only (Alg. 2).
 
-    Shares the :class:`PrecondOptions` surface (and ``parallel`` knob) of
-    :func:`build_fsai`.
+    Shares the :class:`PrecondOptions` surface (including the ``setup``
+    sub-config) of :func:`build_fsai`; ``parallel`` is deprecated.
     """
+    _consume_parallel(parallel)
     options = _coerce_options(options, overrides)
-    return _build_extended(
-        "FSAIE", mat, partition, options, ExtensionMode.LOCAL, parallel=parallel
-    )
+    return _build_extended("FSAIE", mat, partition, options, ExtensionMode.LOCAL)
 
 
 def build_fsaie_comm(
@@ -295,13 +338,12 @@ def build_fsaie_comm(
 ) -> Preconditioner:
     """FSAIE-Comm: communication-aware local + halo extension (Alg. 3).
 
-    Shares the :class:`PrecondOptions` surface (and ``parallel`` knob) of
-    :func:`build_fsai`.
+    Shares the :class:`PrecondOptions` surface (including the ``setup``
+    sub-config) of :func:`build_fsai`; ``parallel`` is deprecated.
     """
+    _consume_parallel(parallel)
     options = _coerce_options(options, overrides)
-    return _build_extended(
-        "FSAIE-Comm", mat, partition, options, ExtensionMode.COMM, parallel=parallel
-    )
+    return _build_extended("FSAIE-Comm", mat, partition, options, ExtensionMode.COMM)
 
 
 class ExtensionWorkspace:
@@ -323,14 +365,16 @@ class ExtensionWorkspace:
         *,
         line_bytes: int = 64,
         fsai: FSAIOptions = FSAIOptions(),
+        setup: SetupOptions | None = None,
         parallel=None,
     ):
+        _consume_parallel(parallel)
         self.name = name
         self.mat = mat
         self.partition = partition
         self.mode = mode
         self.line_bytes = line_bytes
-        self.parallel = parallel
+        self.setup = setup if setup is not None else SetupOptions()
         tracer = get_tracer()
         with tracer.span("precond.workspace", method=name, mode=mode.name):
             with tracer.span("precond.pattern"):
@@ -357,7 +401,7 @@ class ExtensionWorkspace:
 
             # Alg. 2 step 4: precalculate G on the full extended pattern
             with tracer.span("precond.factor", stage="precalculate"):
-                self.g_pre = compute_g_values(mat, s_ext, parallel=parallel)
+                self.g_pre = compute_g_values(mat, s_ext, setup=self.setup)
             self.ratios = entry_ratios(self.g_pre)
             self.ext_mask = extension_entry_mask(self.g_pre, self.base)
             self.entry_owner = partition.owner[
@@ -388,8 +432,7 @@ class ExtensionWorkspace:
                 filtered = self.g_pre.drop_entries(drop)
             with tracer.span("precond.factor", stage="recompute"):
                 g_final = compute_g_values(
-                    self.mat, SparsityPattern.from_csr(filtered),
-                    parallel=self.parallel,
+                    self.mat, SparsityPattern.from_csr(filtered), setup=self.setup
                 )
             pre = _distribute(
                 self.name, g_final, self.partition, base_nnz=self.base.nnz,
@@ -407,12 +450,10 @@ def _build_extended(
     partition: RowPartition,
     options: PrecondOptions,
     mode: ExtensionMode,
-    *,
-    parallel=None,
 ) -> Preconditioner:
     workspace = ExtensionWorkspace(
         name, mat, partition, mode, line_bytes=options.line_bytes, fsai=options.fsai,
-        parallel=parallel,
+        setup=options.setup,
     )
     return workspace.finalize(options.filter)
 

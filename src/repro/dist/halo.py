@@ -190,7 +190,13 @@ class HaloSchedule:
         return halos
 
     def _recv_buffers(self, out: list[np.ndarray] | None) -> list[np.ndarray]:
-        """Validate supplied receive buffers, or allocate (and count) fresh ones."""
+        """Validate supplied receive buffers, or allocate (and count) fresh ones.
+
+        Supplied buffers must be float64 — halo values are packed with plain
+        slice assignment, and a float32 buffer would silently truncate every
+        received value, so a dtype mismatch raises :class:`ValueError`
+        instead.
+        """
         nparts = self.partition.nparts
         if out is not None:
             if len(out) != nparts:
@@ -200,6 +206,12 @@ class HaloSchedule:
                     raise PartitionError(
                         f"rank {p}: halo buffer has shape {buf.shape}, expected "
                         f"({self.ext_cols[p].size},)"
+                    )
+                if buf.dtype != np.float64:
+                    raise ValueError(
+                        f"rank {p}: halo buffer has dtype {buf.dtype}; halo "
+                        "values are float64 and unpacking would silently cast "
+                        "— allocate the buffer as float64"
                     )
             return out
         get_metrics().counter("kernels.allocs").inc(nparts)

@@ -107,7 +107,7 @@ class DistMatrix:
         self.locals = locals_
         self.schedule = schedule
         self.shape = (int(shape[0]), int(shape[1]))
-        self._plans = None
+        self._plans: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -171,21 +171,25 @@ class DistMatrix:
         """Stored entries per rank."""
         return np.array([lm.nnz for lm in self.locals], dtype=np.int64)
 
-    def plans(self) -> list:
+    def plans(self, backend=None) -> list:
         """Per-rank :class:`~repro.kernels.plan.SpMVPlan` set, built lazily.
 
-        Cached on the matrix (plans snapshot the structure, so the matrix
-        must not be mutated after the first call).  Cache hits and misses
-        accumulate in the ``kernels.plan_cache.*`` metrics.
+        Cached on the matrix per backend (plans snapshot the structure, so
+        the matrix must not be mutated after the first call).  Cache hits
+        and misses accumulate in the ``kernels.plan_cache.*`` metrics.
         """
-        if self._plans is None:
-            from repro.kernels.plan import SpMVPlan
+        from repro.backend import get_backend
+        from repro.kernels.plan import SpMVPlan
 
+        bk = get_backend(backend)
+        plans = self._plans.get(bk.name)
+        if plans is None:
             get_metrics().counter("kernels.plan_cache.misses").inc()
-            self._plans = [SpMVPlan(lm.csr) for lm in self.locals]
+            plans = [SpMVPlan(lm.csr, backend=bk) for lm in self.locals]
+            self._plans[bk.name] = plans
         else:
             get_metrics().counter("kernels.plan_cache.hits").inc()
-        return self._plans
+        return plans
 
     def spmv(
         self,

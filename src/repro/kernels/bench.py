@@ -9,11 +9,15 @@ Measures (never asserts) the wins of the :mod:`repro.kernels` layer:
   bitwise on the reduceat plan path, rounding-level on the ELL path — so
   the delta is runtime overhead, not convergence), with per-solve
   allocation counters from the instrumentation registry,
-* serial vs thread-pooled FSAI setup (``compute_g_values(parallel=)``).
+* per-row reference vs batched FSAI setup
+  (:func:`~repro.core.fsai.compute_g_values_per_row` vs the vectorised
+  :func:`~repro.core.fsai.compute_g_values` group solves).
 
 Entry points: :func:`run_suite` returns the result dict, :func:`write_suite`
 writes it as JSON, :func:`format_summary` renders the human-readable table
-printed by ``repro bench`` and ``benchmarks/microbench.py``.
+printed by ``repro bench`` and ``benchmarks/microbench.py``.  ``run_suite``
+takes a ``backend=`` name so the same suite can be pointed at CuPy when
+present (the default NumPy backend is always available).
 
 Timings are best-of-``reps`` wall clock; sizes stay small enough that the
 full suite runs in seconds (``quick=True`` trims further for smoke tests).
@@ -27,8 +31,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.cg import pcg
-from repro.core.fsai import compute_g_values, fsai_pattern
+from repro.core.fsai import (
+    SetupOptions,
+    compute_g_values,
+    compute_g_values_per_row,
+    fsai_pattern,
+)
 from repro.core.precond import build_fsai
 from repro.dist.matrix import DistMatrix
 from repro.dist.partition_map import RowPartition
@@ -56,19 +66,21 @@ def _best(fn, reps: int, inner: int = 4) -> float:
     return best
 
 
-def _bench_spmv(sizes, reps: int) -> list[dict]:
+def _bench_spmv(sizes, reps: int, backend) -> list[dict]:
     records = []
+    xp = backend.xp
     for size in sizes:
         mat = poisson2d(size)
         rng = np.random.default_rng(size)
-        x = rng.standard_normal(mat.ncols)
-        plan = SpMVPlan(mat)
-        out = np.empty(mat.nrows, dtype=np.float64)
-        out_t = np.empty(mat.ncols, dtype=np.float64)
+        x_host = rng.standard_normal(mat.ncols)
+        x = backend.asarray(x_host)  # no-copy on the numpy backend
+        plan = SpMVPlan(mat, backend=backend)
+        out = xp.empty(mat.nrows, dtype=np.float64)
+        out_t = xp.empty(mat.ncols, dtype=np.float64)
 
-        unplanned = _best(lambda: mat.spmv(x), reps)
+        unplanned = _best(lambda: mat.spmv(x_host), reps)
         planned = _best(lambda: plan.spmv(x, out=out), reps)
-        unplanned_t = _best(lambda: mat.spmv_transpose(x), reps)
+        unplanned_t = _best(lambda: mat.spmv_transpose(x_host), reps)
         planned_t = _best(lambda: plan.spmv_t(x, out=out_t), reps)
         records.append(
             {
@@ -132,43 +144,63 @@ def _bench_pcg(size: int, reps: int, nparts: int = 4) -> dict:
     }
 
 
-def _bench_setup(size: int, reps: int, workers: int = 4) -> dict:
+def _bench_setup(size: int, reps: int, backend) -> dict:
+    """Per-row reference loop vs the batched group solves, same pattern."""
     mat = poisson2d(size)
     pattern = fsai_pattern(mat)
-    serial = _best(lambda: compute_g_values(mat, pattern), reps, inner=1)
-    parallel = _best(
-        lambda: compute_g_values(mat, pattern, parallel=workers), reps, inner=1
+    setup = SetupOptions(backend=backend)
+    per_row = _best(lambda: compute_g_values_per_row(mat, pattern), reps, inner=1)
+    batched = _best(
+        lambda: compute_g_values(mat, pattern, setup=setup), reps, inner=1
     )
+    g_ref = compute_g_values_per_row(mat, pattern)
+    g_bat = compute_g_values(mat, pattern, setup=setup)
     return {
         "grid": int(size),
         "n": mat.nrows,
-        "workers": workers,
-        "serial_s": serial,
-        "parallel_s": parallel,
-        "speedup": serial / parallel if parallel > 0 else float("inf"),
+        "backend": backend.name,
+        "per_row_s": per_row,
+        "batched_s": batched,
+        "speedup": per_row / batched if batched > 0 else float("inf"),
+        "values_max_abs_diff": float(np.max(np.abs(g_ref.data - g_bat.data)))
+        if g_ref.nnz
+        else 0.0,
     }
 
 
 def run_suite(
-    sizes=DEFAULT_SIZES, reps: int = DEFAULT_REPS, *, quick: bool = False
+    sizes=DEFAULT_SIZES,
+    reps: int = DEFAULT_REPS,
+    *,
+    quick: bool = False,
+    backend: str | None = None,
 ) -> dict:
     """Run the full microbenchmark suite and return the result dict.
 
     ``quick=True`` shrinks sizes and repetitions to smoke-test territory
     (used by ``pytest -m bench_smoke``); numbers are then indicative only.
+    ``backend=`` selects the array backend for the planned-kernel and
+    batched-setup cases (``"numpy"``, ``"cupy"`` or ``"auto"``; unavailable
+    backends fall back to NumPy with a warning).
     """
+    bk = get_backend(backend)
     if quick:
         sizes = tuple(sizes[:2]) or (16,)
         reps = min(reps, 2)
     sizes = tuple(int(s) for s in sizes)
-    spmv = _bench_spmv(sizes, reps)
+    spmv = _bench_spmv(sizes, reps, bk)
     largest = max(sizes)
     result = {
         "suite": "kernels",
-        "config": {"sizes": list(sizes), "reps": reps, "quick": quick},
+        "config": {
+            "sizes": list(sizes),
+            "reps": reps,
+            "quick": quick,
+            "backend": bk.name,
+        },
         "spmv": spmv,
         "pcg": _bench_pcg(min(largest, 48), reps),
-        "setup": _bench_setup(largest, reps),
+        "setup": _bench_setup(largest, reps, bk),
     }
     by_grid = {rec["grid"]: rec for rec in spmv}
     result["summary"] = {
@@ -176,7 +208,7 @@ def run_suite(
         "spmv_transpose_speedup_largest": by_grid[largest]["speedup_transpose"],
         "pcg_speedup": result["pcg"]["speedup"],
         "pcg_hot_allocs": result["pcg"]["workspace_allocs_hot"],
-        "setup_speedup": result["setup"]["speedup"],
+        "setup_batched_speedup": result["setup"]["speedup"],
     }
     return result
 
@@ -226,7 +258,8 @@ def format_summary(result: dict) -> str:
     ]
     s = result["setup"]
     lines.append(
-        f"fsai setup {s['grid']}x{s['grid']}: serial {s['serial_s'] * 1e3:.2f} ms vs "
-        f"{s['workers']} workers {s['parallel_s'] * 1e3:.2f} ms ({s['speedup']:.2f}x)"
+        f"fsai setup {s['grid']}x{s['grid']} [{s['backend']}]: per-row "
+        f"{s['per_row_s'] * 1e3:.2f} ms vs batched {s['batched_s'] * 1e3:.2f} ms "
+        f"({s['speedup']:.2f}x)"
     )
     return "\n".join(lines)

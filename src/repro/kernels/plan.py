@@ -39,13 +39,24 @@ assumes finite input vectors (as every iterative solver here does).
 Plans snapshot the matrix structure and values at construction; the matrix
 must not be mutated afterwards.  A plan's scratch buffers make it **not
 thread-safe** — share a plan only within one thread.
+
+Plans are backend-aware: pass ``backend=`` (a name or
+:class:`repro.backend.ArrayBackend`) and every kernel array — gather
+indices, value snapshots, scratch buffers — lives in that backend's
+namespace, with ``spmv``/``spmv_t`` running entirely through ``backend.xp``.
+The default NumPy backend is bitwise-identical to the historical behaviour.
+Backends without ``ufunc.reduceat`` (CuPy) require the ELLPACK layout; a
+wide-row matrix on such a backend raises
+:class:`~repro.errors.BackendError` at construction (see
+``docs/BACKENDS.md``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.backend import ArrayBackend, get_backend
+from repro.errors import BackendError, ShapeError
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["SpMVPlan", "ELL_MAX_WIDTH"]
@@ -82,23 +93,29 @@ def _build_ell(widths: np.ndarray, indices: np.ndarray, data: np.ndarray):
     return idx, vals, np.empty((w, n), dtype=np.float64)
 
 
-def _ell_apply(x, idx, vals, scratch, out):
+def _ell_apply(xp, x, idx, vals, scratch, out):
     """``out[i] = Σ_j vals[j, i] * x[idx[j, i]]``, left-to-right in ``j``."""
-    np.take(x, idx, out=scratch, mode="clip")
-    np.multiply(scratch, vals, out=scratch)
+    if xp is np:
+        # indices are validated at construction; clip skips the bounds check
+        np.take(x, idx, out=scratch, mode="clip")
+    else:
+        xp.take(x, idx, out=scratch)  # cupy.take has no mode= kwarg
+    xp.multiply(scratch, vals, out=scratch)
     if scratch.shape[0] == 1:
-        np.copyto(out, scratch[0])
+        xp.copyto(out, scratch[0])
         return out
-    np.add(scratch[0], scratch[1], out=out)
+    xp.add(scratch[0], scratch[1], out=out)
     for j in range(2, scratch.shape[0]):
         out += scratch[j]
     return out
 
 
-def _check_out(out: np.ndarray, n: int, label: str) -> None:
-    """Validate a user-supplied output vector (shape and dtype)."""
-    if not isinstance(out, np.ndarray):
-        raise TypeError(f"{label} must be a numpy array, got {type(out).__name__}")
+def _check_out(out, n: int, label: str, backend: ArrayBackend) -> None:
+    """Validate a user-supplied output vector (backend, shape and dtype)."""
+    if not backend.is_native(out):
+        raise TypeError(
+            f"{label} must be a {backend.name} array, got {type(out).__name__}"
+        )
     if out.dtype != np.float64:
         raise TypeError(f"{label} must have dtype float64, got {out.dtype}")
     if out.shape != (n,):
@@ -114,6 +131,12 @@ class SpMVPlan:
         The CSR matrix to plan for.  Its ``indptr``/``indices``/``data``
         arrays are referenced (forward product) and partially copied
         (transpose gather plan); do not mutate the matrix afterwards.
+    backend:
+        Array backend the kernels run on — a name accepted by
+        :func:`repro.backend.get_backend` or an
+        :class:`~repro.backend.ArrayBackend`.  Defaults to NumPy.  All plan
+        arrays live in the backend namespace; input and ``out=`` vectors
+        must be native to it.
 
     Attributes
     ----------
@@ -124,7 +147,8 @@ class SpMVPlan:
     """
 
     __slots__ = (
-        "mat", "nrows", "ncols", "nnz",
+        "mat", "nrows", "ncols", "nnz", "backend", "_xp",
+        "_a_indices", "_a_data",
         "_starts", "_row_ids", "_all_rows_nonempty", "_prod", "_seg",
         "_ell_idx", "_ell_vals", "_ell_x",
         "_t_rows", "_t_data", "_t_starts", "_t_col_ids",
@@ -133,8 +157,11 @@ class SpMVPlan:
         "calls", "calls_t",
     )
 
-    def __init__(self, mat: CSRMatrix):
+    def __init__(self, mat: CSRMatrix, backend: str | ArrayBackend | None = None):
         self.mat = mat
+        self.backend = get_backend(backend)
+        xp = self._xp = self.backend.xp
+        dev = self.backend.asarray
         self.nrows, self.ncols = mat.shape
         self.nnz = mat.nnz
         self.calls = 0
@@ -143,24 +170,36 @@ class SpMVPlan:
         widths = np.diff(mat.indptr)
         ell = _build_ell(widths, mat.indices, mat.data)
         if ell is not None:
-            self._ell_idx, self._ell_vals, self._ell_x = ell
+            idx, vals, scratch = ell
+            self._ell_idx, self._ell_vals = dev(idx), dev(vals)
+            self._ell_x = xp.empty(scratch.shape, dtype=np.float64)
             self._starts = self._row_ids = self._seg = self._prod = None
+            self._a_indices = self._a_data = None
             self._all_rows_nonempty = True
+        elif not self.backend.supports_reduceat and self.nnz:
+            raise BackendError(
+                f"backend {self.backend.name!r} has no ufunc.reduceat; SpMV "
+                f"plans need the ELLPACK layout (rows at most {ELL_MAX_WIDTH} "
+                "wide with modest padding) — see docs/BACKENDS.md"
+            )
         else:
             self._ell_idx = self._ell_vals = self._ell_x = None
+            self._a_indices = dev(mat.indices)
+            self._a_data = dev(mat.data)
             # forward plan: reduceat starts over nonempty rows
             starts = mat.indptr[:-1]
             nonempty = mat.indptr[1:] > starts
             self._all_rows_nonempty = bool(nonempty.all()) if self.nrows else True
             if self._all_rows_nonempty:
-                self._starts = np.ascontiguousarray(starts)
+                self._starts = dev(np.ascontiguousarray(starts))
                 self._row_ids = None
                 self._seg = None
             else:
-                self._row_ids = np.flatnonzero(nonempty)
-                self._starts = np.ascontiguousarray(starts[self._row_ids])
-                self._seg = np.empty(self._row_ids.size, dtype=np.float64)
-            self._prod = np.empty(self.nnz, dtype=np.float64)
+                row_ids = np.flatnonzero(nonempty)
+                self._row_ids = dev(row_ids)
+                self._starts = dev(np.ascontiguousarray(starts[row_ids]))
+                self._seg = xp.empty(row_ids.size, dtype=np.float64)
+            self._prod = xp.empty(self.nnz, dtype=np.float64)
 
         # transpose plan: CSC gather (stable sort keeps determinism and,
         # within a column, ascending source rows)
@@ -172,28 +211,37 @@ class SpMVPlan:
             else np.zeros(self.ncols, dtype=np.int64)
         t_ell = _build_ell(col_counts, t_rows, t_data)
         if t_ell is not None:
-            self._t_ell_idx, self._t_ell_vals, self._t_ell_x = t_ell
+            idx, vals, scratch = t_ell
+            self._t_ell_idx, self._t_ell_vals = dev(idx), dev(vals)
+            self._t_ell_x = xp.empty(scratch.shape, dtype=np.float64)
             self._t_rows = self._t_data = None
             self._t_starts = self._t_col_ids = self._t_seg = self._t_prod = None
             self._all_cols_nonempty = True
             return
+        if not self.backend.supports_reduceat and self.nnz:
+            raise BackendError(
+                f"backend {self.backend.name!r} has no ufunc.reduceat; the "
+                "transpose SpMV plan needs the ELLPACK layout — see "
+                "docs/BACKENDS.md"
+            )
         self._t_ell_idx = self._t_ell_vals = self._t_ell_x = None
-        self._t_rows = t_rows
-        self._t_data = t_data
+        self._t_rows = dev(t_rows)
+        self._t_data = dev(t_data)
         t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
         np.cumsum(col_counts, out=t_indptr[1:])
         t_starts = t_indptr[:-1]
         col_nonempty = t_indptr[1:] > t_starts
         self._all_cols_nonempty = bool(col_nonempty.all()) if self.ncols else True
         if self._all_cols_nonempty:
-            self._t_starts = np.ascontiguousarray(t_starts)
+            self._t_starts = dev(np.ascontiguousarray(t_starts))
             self._t_col_ids = None
             self._t_seg = None
         else:
-            self._t_col_ids = np.flatnonzero(col_nonempty)
-            self._t_starts = np.ascontiguousarray(t_starts[self._t_col_ids])
-            self._t_seg = np.empty(self._t_col_ids.size, dtype=np.float64)
-        self._t_prod = np.empty(self.nnz, dtype=np.float64)
+            t_col_ids = np.flatnonzero(col_nonempty)
+            self._t_col_ids = dev(t_col_ids)
+            self._t_starts = dev(np.ascontiguousarray(t_starts[t_col_ids]))
+            self._t_seg = xp.empty(t_col_ids.size, dtype=np.float64)
+        self._t_prod = xp.empty(self.nnz, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -202,26 +250,27 @@ class SpMVPlan:
         ``out`` may alias ``x``: the gathered products are materialised in the
         plan's scratch buffer before ``out`` is written.
         """
+        xp = self._xp
         if x.shape != (self.ncols,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.ncols},)")
         if out is None:
-            out = np.empty(self.nrows, dtype=np.float64)
+            out = xp.empty(self.nrows, dtype=np.float64)
         else:
-            _check_out(out, self.nrows, "out")
+            _check_out(out, self.nrows, "out", self.backend)
         self.calls += 1
         if self.nnz == 0:
             out.fill(0.0)
             return out
         if self._ell_idx is not None:
-            return _ell_apply(x, self._ell_idx, self._ell_vals, self._ell_x, out)
+            return _ell_apply(xp, x, self._ell_idx, self._ell_vals, self._ell_x, out)
         # indices are validated at matrix construction; mode="clip" skips the
         # redundant per-call bounds check
-        np.take(x, self.mat.indices, out=self._prod, mode="clip")
-        np.multiply(self._prod, self.mat.data, out=self._prod)
+        xp.take(x, self._a_indices, out=self._prod, mode="clip")
+        xp.multiply(self._prod, self._a_data, out=self._prod)
         if self._all_rows_nonempty:
-            np.add.reduceat(self._prod, self._starts, out=out)
+            xp.add.reduceat(self._prod, self._starts, out=out)
         else:
-            np.add.reduceat(self._prod, self._starts, out=self._seg)
+            xp.add.reduceat(self._prod, self._starts, out=self._seg)
             out.fill(0.0)
             out[self._row_ids] = self._seg
         return out
@@ -231,24 +280,27 @@ class SpMVPlan:
 
         ``out`` may alias ``x``; allocation-free when ``out`` is given.
         """
+        xp = self._xp
         if x.shape != (self.nrows,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.nrows},)")
         if out is None:
-            out = np.empty(self.ncols, dtype=np.float64)
+            out = xp.empty(self.ncols, dtype=np.float64)
         else:
-            _check_out(out, self.ncols, "out")
+            _check_out(out, self.ncols, "out", self.backend)
         self.calls_t += 1
         if self.nnz == 0:
             out.fill(0.0)
             return out
         if self._t_ell_idx is not None:
-            return _ell_apply(x, self._t_ell_idx, self._t_ell_vals, self._t_ell_x, out)
-        np.take(x, self._t_rows, out=self._t_prod, mode="clip")
-        np.multiply(self._t_prod, self._t_data, out=self._t_prod)
+            return _ell_apply(
+                xp, x, self._t_ell_idx, self._t_ell_vals, self._t_ell_x, out
+            )
+        xp.take(x, self._t_rows, out=self._t_prod, mode="clip")
+        xp.multiply(self._t_prod, self._t_data, out=self._t_prod)
         if self._all_cols_nonempty:
-            np.add.reduceat(self._t_prod, self._t_starts, out=out)
+            xp.add.reduceat(self._t_prod, self._t_starts, out=out)
         else:
-            np.add.reduceat(self._t_prod, self._t_starts, out=self._t_seg)
+            xp.add.reduceat(self._t_prod, self._t_starts, out=self._t_seg)
             out.fill(0.0)
             out[self._t_col_ids] = self._t_seg
         return out

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.dist.matrix import DistMatrix
 from repro.dist.vector import DistVector
 from repro.errors import ShapeError
@@ -35,13 +36,13 @@ class _OperatorState:
 
     __slots__ = ("dmat", "plans", "xin", "halo_views")
 
-    def __init__(self, dmat: DistMatrix):
+    def __init__(self, dmat: DistMatrix, backend: ArrayBackend):
         self.dmat = dmat
-        self.plans = dmat.plans()
+        self.plans = dmat.plans(backend)
         self.xin: list[np.ndarray] = []
         self.halo_views: list[np.ndarray] = []
         for lm in dmat.locals:
-            buf = np.empty(lm.n_local + lm.n_halo, dtype=np.float64)
+            buf = backend.xp.empty(lm.n_local + lm.n_halo, dtype=np.float64)
             self.xin.append(buf)
             self.halo_views.append(buf[lm.n_local:])
 
@@ -59,6 +60,12 @@ class SolverWorkspace:
         The system matrix; its partition defines every vector buffer.  Plans
         and input buffers for further operators (e.g. the preconditioner's
         ``G`` / ``Gᵀ``) are registered lazily on first application.
+    backend:
+        Array backend the buffers and kernel plans live on — a name accepted
+        by :func:`repro.backend.get_backend` or an
+        :class:`~repro.backend.ArrayBackend`.  Defaults to NumPy.  Operand
+        vectors must match the backend and dtype (float64); mismatches raise
+        :class:`ValueError` rather than silently casting into the buffers.
 
     Attributes
     ----------
@@ -68,8 +75,9 @@ class SolverWorkspace:
         ``scripts/check_no_alloc.py``.
     """
 
-    def __init__(self, mat: DistMatrix):
+    def __init__(self, mat: DistMatrix, backend: str | ArrayBackend | None = None):
         self.mat = mat
+        self.backend = get_backend(backend)
         self.partition = mat.partition
         self.allocations = 0
         self._vectors: dict[str, DistVector] = {}
@@ -82,7 +90,7 @@ class SolverWorkspace:
         get_metrics().counter("kernels.allocs").inc(n)
 
     def _register(self, dmat: DistMatrix) -> _OperatorState:
-        state = _OperatorState(dmat)
+        state = _OperatorState(dmat, self.backend)
         self._ops[id(dmat)] = state
         self._count_allocs(state.narrays)
         return state
@@ -134,12 +142,31 @@ class SolverWorkspace:
         state = self.operator(dmat)
         if out is None:
             out = self.vector(f"spmv.out.{id(dmat)}")
+        self._check_parts(x, "x")
+        self._check_parts(out, "out")
         dmat.schedule.update(x.parts, tracker, out=state.halo_views)
         for p, lm in enumerate(dmat.locals):
             xin = state.xin[p]
             xin[: lm.n_local] = x.parts[p]
             state.plans[p].spmv(xin, out=out.parts[p])
         return out
+
+    def _check_parts(self, vec: DistVector, label: str) -> None:
+        """Reject operand vectors that would silently cast into the buffers."""
+        backend = self.backend
+        for p, part in enumerate(vec.parts):
+            if not backend.is_native(part):
+                raise ValueError(
+                    f"{label}.parts[{p}] is {type(part).__name__}, but this "
+                    f"workspace runs on the {backend.name!r} backend — convert "
+                    "with backend.to_device() before the solve"
+                )
+            if part.dtype != np.float64:
+                raise ValueError(
+                    f"{label}.parts[{p}] has dtype {part.dtype}; workspace "
+                    "buffers are float64 and refuse to cast silently — "
+                    "convert the operand explicitly"
+                )
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,7 @@ from repro.core import (
     FilterSpec,
     FSAIOptions,
     PrecondOptions,
+    SetupOptions,
     bicgstab,
     build_fsai,
     build_fsaie_comm,
@@ -104,6 +105,33 @@ class TestPrecondOptions:
         with pytest.warns(DeprecationWarning):
             with pytest.raises(ValueError, match="not both"):
                 PrecondOptions(filter=FilterSpec(0.05), dynamic=False)
+
+    def test_setup_sub_config(self):
+        opts = PrecondOptions(setup=SetupOptions(dtype="float32", batched=False))
+        assert opts.setup.dtype == "float32"
+        assert not opts.setup.batched
+
+    def test_setup_defaults(self):
+        assert PrecondOptions().setup == SetupOptions()
+
+    def test_legacy_setup_keywords_warn_and_forward(self):
+        with pytest.warns(DeprecationWarning, match="setup=SetupOptions"):
+            opts = PrecondOptions(backend="numpy", setup_dtype="float32")
+        assert opts.setup == SetupOptions(backend="numpy", dtype="float32")
+
+    def test_mixing_new_and_legacy_setup_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                PrecondOptions(setup=SetupOptions(), batched=False)
+
+    def test_legacy_parallel_keyword_warns_and_drops(self):
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            opts = PrecondOptions(parallel=4)
+        assert opts.setup == SetupOptions()
+
+    def test_legacy_parallel_keyword_still_validates(self):
+        with pytest.raises(ValueError, match="positive worker count"):
+            PrecondOptions(parallel=0)
 
     def test_unknown_keyword_rejected(self):
         with pytest.raises(TypeError, match="unexpected keyword"):

@@ -1,0 +1,147 @@
+"""Array-backend selection, fallback and capability-threading tests.
+
+Marked ``backend_smoke`` so the backend layer can be exercised alone::
+
+    PYTHONPATH=src python -m pytest -m backend_smoke -q
+
+Everything here must pass on a NumPy-only machine: the CuPy cases assert the
+documented *fallback* behaviour (single warning, NumPy namespace returned),
+not GPU execution.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ArrayBackend, get_backend
+from repro.backend import (
+    BackendFallbackWarning,
+    available_backends,
+    numpy_backend,
+    reset_backend_cache,
+)
+from repro.errors import BackendError
+from repro.kernels.plan import SpMVPlan
+from repro.matgen import poisson2d
+from repro.sparse import CSRMatrix
+
+pytestmark = pytest.mark.backend_smoke
+
+CUPY_PRESENT = "cupy" in available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_cache():
+    reset_backend_cache()
+    yield
+    reset_backend_cache()
+
+
+class TestGetBackend:
+    def test_default_is_numpy(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.xp is np
+        assert not backend.is_gpu
+        assert backend.supports_reduceat
+        assert backend.supports_batched_solve
+
+    def test_none_and_name_agree(self):
+        assert get_backend(None) is get_backend("numpy")
+
+    def test_instances_pass_through(self):
+        backend = numpy_backend()
+        assert get_backend(backend) is backend
+
+    def test_case_insensitive(self):
+        assert get_backend("NumPy").name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("tpu")
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError, match="name or ArrayBackend"):
+            get_backend(42)
+
+    def test_cached_per_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    @pytest.mark.skipif(CUPY_PRESENT, reason="requires a machine without CuPy")
+    def test_cupy_falls_back_with_single_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = get_backend("cupy")
+            second = get_backend("cupy")
+        assert first.name == "numpy"
+        assert second is first
+        fallback = [w for w in caught if issubclass(w.category, BackendFallbackWarning)]
+        assert len(fallback) == 1
+        assert "falling back to numpy" in str(fallback[0].message)
+
+    @pytest.mark.skipif(CUPY_PRESENT, reason="requires a machine without CuPy")
+    def test_auto_is_silent_on_fallback(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = get_backend("auto")
+        assert backend.name == "numpy"
+        assert not [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+
+    def test_available_backends_always_has_numpy(self):
+        assert "numpy" in available_backends()
+
+
+class TestArrayBackend:
+    def test_roundtrip_is_identity_on_numpy(self):
+        backend = numpy_backend()
+        x = np.arange(4.0)
+        assert backend.to_device(x) is not None
+        assert backend.from_device(backend.to_device(x)) is x
+
+    def test_asarray_dtype(self):
+        backend = numpy_backend()
+        out = backend.asarray([1, 2], dtype=np.float32)
+        assert out.dtype == np.float32
+
+    def test_is_native(self):
+        backend = numpy_backend()
+        assert backend.is_native(np.zeros(1))
+        assert not backend.is_native([0.0])
+
+    def test_synchronize_is_noop_on_host(self):
+        numpy_backend().synchronize()
+
+    def test_frozen(self):
+        backend = numpy_backend()
+        with pytest.raises(AttributeError):
+            backend.name = "other"
+
+
+class TestCapabilityGates:
+    def test_plan_rejects_wide_rows_without_reduceat(self):
+        # a dense-ish row wider than ELL_MAX_WIDTH forces the reduceat path
+        n = 12
+        dense = np.zeros((n, n))
+        dense[0, :] = 1.0
+        dense[np.arange(n), np.arange(n)] = 2.0
+        mat = CSRMatrix.from_dense(dense)
+        crippled = ArrayBackend(name="numpy", xp=np, supports_reduceat=False)
+        with pytest.raises(BackendError, match="reduceat"):
+            SpMVPlan(mat, backend=crippled)
+
+    def test_plan_accepts_narrow_rows_without_reduceat(self):
+        mat = poisson2d(8)  # 5-point stencil: every row fits the ELL layout
+        crippled = ArrayBackend(name="numpy", xp=np, supports_reduceat=False)
+        plan = SpMVPlan(mat, backend=crippled)
+        x = np.ones(mat.ncols)
+        assert np.allclose(plan.spmv(x), mat.spmv(x))
+        assert np.allclose(plan.spmv_t(x), mat.spmv_transpose(x))
+
+    def test_plan_backend_name_threads_through(self):
+        plan = SpMVPlan(poisson2d(6), backend="numpy")
+        assert plan.backend.name == "numpy"

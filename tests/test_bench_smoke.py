@@ -31,7 +31,9 @@ def test_run_suite_quick_shape(tmp_path):
     assert summary["pcg_hot_allocs"] == 0
     assert result["pcg"]["solutions_match"]
     assert "spmv_speedup_largest" in summary
-    assert "setup_speedup" in summary
+    assert "setup_batched_speedup" in summary
+    assert result["setup"]["backend"] == "numpy"
+    assert result["setup"]["values_max_abs_diff"] <= 1e-12
 
     path = write_suite(result, tmp_path / "BENCH_kernels.json")
     loaded = json.loads(Path(path).read_text())

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import FSAIOptions, compute_g_values, fsai_factor, fsai_pattern
+from repro.core import (
+    FSAIOptions,
+    SetupOptions,
+    compute_g_values,
+    compute_g_values_per_row,
+    fsai_factor,
+    fsai_pattern,
+)
 from repro.errors import NotSPDError, ShapeError
 from repro.matgen import poisson2d
 from repro.sparse import CSRMatrix, SparsityPattern
@@ -151,3 +158,107 @@ class TestValues:
         m1 = g1 @ mat.to_dense() @ g1.T
         m2 = g2 @ scaled.to_dense() @ g2.T
         assert np.allclose(m1, m2, atol=1e-10)
+
+
+class TestBatchedEquivalence:
+    """Batched group solves vs the per-row reference loop."""
+
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_structure_identical_and_values_close(self, poisson16, level):
+        pattern = fsai_pattern(poisson16, FSAIOptions(level=level))
+        per_row = compute_g_values_per_row(poisson16, pattern)
+        batched = compute_g_values(poisson16, pattern)
+        assert per_row.nnz == batched.nnz
+        assert np.array_equal(per_row.indptr, batched.indptr)
+        assert np.array_equal(per_row.indices, batched.indices)
+        assert np.max(np.abs(per_row.data - batched.data)) <= 1e-12
+
+    def test_small_spd_values_close(self, small_spd):
+        pattern = fsai_pattern(small_spd, FSAIOptions(level=2))
+        per_row = compute_g_values_per_row(small_spd, pattern)
+        batched = compute_g_values(small_spd, pattern)
+        assert np.allclose(per_row.data, batched.data, rtol=0, atol=1e-12)
+
+    def test_singleton_groups(self):
+        # diagonal matrix: every pattern row is the lone size-1 group member
+        mat = CSRMatrix.from_dense(np.diag([4.0, 9.0, 16.0]))
+        pattern = fsai_pattern(mat)
+        g = compute_g_values(mat, pattern)
+        ref = compute_g_values_per_row(mat, pattern)
+        assert np.array_equal(g.data, ref.data)
+        assert np.allclose(g.data, [0.5, 1.0 / 3.0, 0.25])
+
+    def test_mixed_group_sizes(self, rng):
+        # random SPD: row pattern sizes vary, including singleton groups
+        mat = small_spd_like(rng, 14)
+        pattern = fsai_pattern(mat, FSAIOptions(level=2))
+        sizes = np.diff(pattern.indptr)
+        assert np.unique(sizes).size > 1  # the case under test
+        per_row = compute_g_values_per_row(mat, pattern)
+        batched = compute_g_values(mat, pattern)
+        assert np.max(np.abs(per_row.data - batched.data)) <= 1e-12
+
+    def test_fp32_setup_close_to_fp64(self, poisson16):
+        pattern = fsai_pattern(poisson16)
+        g64 = compute_g_values(poisson16, pattern)
+        g32 = compute_g_values(
+            poisson16, pattern, setup=SetupOptions(dtype="float32")
+        )
+        assert g32.data.dtype == np.float64  # storage stays float64
+        assert np.allclose(g64.data, g32.data, rtol=1e-4, atol=1e-5)
+
+    def test_fp32_batched_matches_fp32_per_row(self, poisson16):
+        pattern = fsai_pattern(poisson16)
+        per_row = compute_g_values_per_row(poisson16, pattern, dtype=np.float32)
+        batched = compute_g_values(
+            poisson16, pattern, setup=SetupOptions(dtype="float32")
+        )
+        assert np.allclose(per_row.data, batched.data, rtol=1e-5, atol=1e-6)
+
+    def test_batched_false_routes_to_reference(self, poisson16):
+        pattern = fsai_pattern(poisson16)
+        via_setup = compute_g_values(
+            poisson16, pattern, setup=SetupOptions(batched=False)
+        )
+        ref = compute_g_values_per_row(poisson16, pattern)
+        assert np.array_equal(via_setup.data, ref.data)
+
+    def test_bad_setup_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            SetupOptions(dtype="float16")
+
+    def test_batched_metrics_counters(self, poisson16):
+        from repro.instrument import NULL_TRACER, tracing
+
+        pattern = fsai_pattern(poisson16)
+        with tracing(NULL_TRACER) as (_, metrics):
+            compute_g_values(poisson16, pattern)
+            assert (metrics.value("fsai.batched_groups") or 0) >= 1
+            assert metrics.value("fsai.batched_rows") == poisson16.nrows
+
+    def test_halo_schedules_invariant_across_setup_paths(self):
+        from repro.core.precond import PrecondOptions, build_fsai
+        from repro.dist import RowPartition
+        from repro.observe import audit_preconditioners
+
+        mat = poisson2d(10)
+        part = RowPartition.contiguous(mat.nrows, 4)
+        batched = build_fsai(mat, part)
+        per_row = build_fsai(
+            mat, part, PrecondOptions(setup=SetupOptions(batched=False))
+        )
+        audit = audit_preconditioners(batched, per_row)
+        assert audit.invariant
+        for sched_b, sched_p in ((batched.g.schedule, per_row.g.schedule),
+                                 (batched.gt.schedule, per_row.gt.schedule)):
+            assert sched_b == sched_p
+            for cb, cp in zip(sched_b.ext_cols, sched_p.ext_cols):
+                assert cb.tobytes() == cp.tobytes()
+
+
+def small_spd_like(rng, n: int) -> CSRMatrix:
+    """Sparse SPD test matrix with irregular row pattern sizes."""
+    base = random_sparse(rng, n, n, density=0.25).to_dense()
+    sym = (base + base.T) / 2
+    np.fill_diagonal(sym, np.abs(sym).sum(axis=1) + 1.0)
+    return CSRMatrix.from_dense(sym)

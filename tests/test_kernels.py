@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -181,6 +183,46 @@ class TestSolverWorkspace:
         with pytest.raises(ShapeError):
             ws.spmv(dmat, x)
 
+    def test_float32_operand_rejected(self, dist_setup):
+        _, part, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        x = DistVector.zeros(part)
+        x.parts[0] = x.parts[0].astype(np.float32)
+        with pytest.raises(ValueError, match="float64"):
+            ws.spmv(dmat, x)
+
+    def test_non_backend_operand_rejected(self, dist_setup):
+        _, part, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        x = DistVector.zeros(part)
+        x.parts[0] = list(x.parts[0])
+        with pytest.raises(ValueError, match="backend"):
+            ws.spmv(dmat, x)
+
+    def test_float32_out_rejected(self, dist_setup, rng):
+        mat, part, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        x = DistVector.from_global(rng.standard_normal(mat.nrows), part)
+        out = DistVector.zeros(part)
+        out.parts[1] = out.parts[1].astype(np.float32)
+        with pytest.raises(ValueError, match="float64"):
+            ws.spmv(dmat, x, out=out)
+
+    def test_workspace_backend_defaults_to_numpy(self, dist_setup):
+        _, _, dmat, _ = dist_setup
+        ws = SolverWorkspace(dmat)
+        assert ws.backend.name == "numpy"
+
+    def test_halo_update_rejects_float32_buffers(self, dist_setup):
+        mat, part, dmat, _ = dist_setup
+        x_parts = [np.zeros(part.global_ids[p].size) for p in range(part.nparts)]
+        bad = [
+            np.zeros(dmat.schedule.halo_size(p), dtype=np.float32)
+            for p in range(part.nparts)
+        ]
+        with pytest.raises(ValueError, match="float64"):
+            dmat.schedule.update(x_parts, out=bad)
+
     def test_plan_cache_hits(self, dist_setup):
         _, _, dmat, b = dist_setup
         with tracing(NULL_TRACER) as (_, metrics):
@@ -285,11 +327,14 @@ class TestSolverWorkspace:
         assert abs(result.iterations - reference.iterations) <= 2
 
 
-class TestParallelFSAI:
-    def test_parallel_matches_serial_exactly(self, poisson16):
+class TestDeprecatedParallelFSAI:
+    """``parallel=`` is a deprecated no-op: warn, then run the batched path."""
+
+    def test_parallel_warns_and_matches_default(self, poisson16):
         pattern = fsai_pattern(poisson16, FSAIOptions(level=2))
         serial = compute_g_values(poisson16, pattern)
-        parallel = compute_g_values(poisson16, pattern, parallel=2)
+        with pytest.deprecated_call():
+            parallel = compute_g_values(poisson16, pattern, parallel=2)
         assert np.array_equal(serial.data, parallel.data)
 
     def test_parallel_worker_validation(self, poisson16):
@@ -297,15 +342,23 @@ class TestParallelFSAI:
         with pytest.raises(ValueError):
             compute_g_values(poisson16, pattern, parallel=0)
 
-    def test_fsai_factor_parallel(self, poisson16):
+    def test_parallel_none_is_silent(self, poisson16):
+        pattern = fsai_pattern(poisson16, FSAIOptions())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            compute_g_values(poisson16, pattern, parallel=None)
+
+    def test_fsai_factor_parallel_warns(self, poisson16):
         serial = fsai_factor(poisson16)
-        parallel = fsai_factor(poisson16, parallel=2)
+        with pytest.deprecated_call():
+            parallel = fsai_factor(poisson16, parallel=2)
         assert np.array_equal(serial.data, parallel.data)
 
-    def test_build_fsai_parallel_solves(self, poisson16):
+    def test_build_fsai_parallel_warns_and_solves(self, poisson16):
         part = RowPartition.contiguous(poisson16.nrows, 4)
         dmat = DistMatrix.from_global(poisson16, part)
         b = DistVector.from_global(paper_rhs(poisson16, seed=3), part)
-        pre = build_fsai(poisson16, part, parallel=2)
+        with pytest.deprecated_call():
+            pre = build_fsai(poisson16, part, parallel=2)
         result = pcg(dmat, b, precond=pre)
         assert result.converged
