@@ -25,11 +25,20 @@ iteration counts get a small absolute allowance, nnz counts and the
 communication-invariance flags gate exactly, and modeled times (analytic,
 but float-accumulated) gate with a narrow relative band.
 
+The weak-scaling suite (``BENCH_scaling.json``, see
+:mod:`benchmarks.scaling_bench`) has its own baseline and tolerances via
+``--scaling``: message and byte totals under per-edge coalescing plus the
+two communication-invariance flags gate exactly, iteration counts get the
+small absolute allowance, modeled times (per-iteration cost and max BSP
+wait) gate with ``--check-timings``, and wall-clock seconds are never gated.
+Without ``--bench`` the flag runs the quick (64-rank) ladder fresh.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py            # quick run
     PYTHONPATH=src python scripts/check_bench_regression.py --bench BENCH_kernels.json
     PYTHONPATH=src python scripts/check_bench_regression.py --solver --bench BENCH_solver.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --scaling --bench BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -77,6 +86,31 @@ BASELINE_SIZES = (12, 16)
 
 SOLVER_BASELINE = BASELINE.parent / "solver_baseline.json"
 
+SCALING_BASELINE = BASELINE.parent / "scaling_baseline.json"
+
+
+def scaling_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
+    """Per-metric tolerances for the weak-scaling suite
+    (``BENCH_scaling.json``, see :mod:`benchmarks.scaling_bench`).
+
+    Message and byte totals are exact under per-edge coalescing (the
+    transport records one message per (src, dst) pair per epoch with the
+    summed payload bytes), and the two communication-invariance flags gate
+    exactly; iteration counts get the usual small absolute allowance;
+    modeled milliseconds and the modeled max BSP wait are analytic but
+    float-accumulated (narrow relative band, opt-in).  Wall-clock seconds
+    are recorded for context and never gated.
+    """
+    tolerances = {}
+    for name in baseline.metrics:
+        if name.endswith((".messages", ".bytes", ".invariant", ".halo_invariant")):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith(".iterations") and config_matches:
+            tolerances[name] = {"rel": 0.0, "abs": 2.0}
+        elif name.endswith((".modeled_ms", ".max_bsp_wait_ms")) and check_timings:
+            tolerances[name] = {"rel": 0.1}
+    return tolerances
+
 
 def solver_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
     """Per-metric tolerances for a solve-level suite, keyed off the baseline.
@@ -110,6 +144,11 @@ def main(argv=None) -> int:
         help="gate a solve-level suite (BENCH_solver.json) instead of kernels",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="gate the weak-scaling suite (BENCH_scaling.json) instead of kernels",
+    )
+    parser.add_argument(
         "--check-timings",
         action="store_true",
         help="also gate speedup ratios / modeled times (not for CI by default)",
@@ -118,45 +157,64 @@ def main(argv=None) -> int:
 
     from repro.observe import ReportError, RunReport
 
+    benchdir = str(Path(__file__).resolve().parent.parent / "benchmarks")
     if args.bench:
         try:
             fresh = RunReport.load(args.bench)
         except ReportError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        solver = args.solver or fresh.meta.get("source") == "solver-bench"
-    elif args.solver:
-        solver = True
-        sys.path.insert(
-            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        source = fresh.meta.get("source")
+        if args.scaling or source == "scaling-bench":
+            kind = "scaling"
+        elif args.solver or source == "solver-bench":
+            kind = "solver"
+        else:
+            kind = "kernels"
+    elif args.scaling:
+        kind = "scaling"
+        sys.path.insert(0, benchdir)
+        from scaling_bench import run_scaling_suite
+
+        fresh = RunReport.from_scaling_bench(
+            run_scaling_suite(quick=True), label="fresh"
         )
+    elif args.solver:
+        kind = "solver"
+        sys.path.insert(0, benchdir)
         from solver_bench import run_solver_suite
 
         fresh = RunReport.from_solver_bench(
             run_solver_suite(quick=True), label="fresh"
         )
     else:
-        solver = False
+        kind = "kernels"
         from repro.kernels.bench import run_suite
 
         result = run_suite(sizes=BASELINE_SIZES, reps=1, quick=True)
         fresh = RunReport.from_bench(result, label="fresh")
 
+    solver = kind == "solver"
+    default_baseline = {
+        "kernels": BASELINE,
+        "solver": SOLVER_BASELINE,
+        "scaling": SCALING_BASELINE,
+    }[kind]
     try:
-        baseline = RunReport.load(
-            args.baseline or (SOLVER_BASELINE if solver else BASELINE)
-        )
+        baseline = RunReport.load(args.baseline or default_baseline)
     except ReportError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     config_matches = fresh.meta.get("config") == baseline.meta.get("config")
-    if solver:
-        # quick runs cover a matrix subset; compare only on shared metrics
+    if kind in ("solver", "scaling"):
+        # quick runs cover a subset (matrices / scales); compare only on
+        # shared metrics
         config_matches = config_matches or set(fresh.metrics) <= set(
             baseline.metrics
         )
-        tolerances = solver_tolerances(
+        tolerance_fn = solver_tolerances if solver else scaling_tolerances
+        tolerances = tolerance_fn(
             baseline,
             config_matches=config_matches,
             check_timings=args.check_timings,
@@ -183,7 +241,7 @@ def main(argv=None) -> int:
             "FAIL: benchmark counters regressed beyond the recorded baseline",
             file=sys.stderr,
         )
-    if not solver:
+    if kind == "kernels":
         speedup = fresh.metrics.get("bench.setup_batched_speedup")
         if speedup is None:
             print(

@@ -223,6 +223,7 @@ def pipelined_pcg(
     max_iterations: int = 50_000,
     tracker: CommTracker | None = None,
     workspace: SolverWorkspace | bool | None = None,
+    overlap: bool = False,
 ) -> CGResult:
     """Pipelined preconditioned CG (Ghysels & Vanroose 2014).
 
@@ -238,6 +239,15 @@ def pipelined_pcg(
     or a bare callable, like :func:`repro.core.cg.pcg`; ``workspace`` follows
     the :func:`repro.core.cg.pcg` contract (``False`` for the legacy
     allocating path) with identical arithmetic.
+
+    ``overlap=True`` routes every SpMV through the split-block overlapped
+    product (:meth:`~repro.dist.matrix.DistMatrix.spmv` with
+    ``overlap=True``): halo receives are posted before the local-block
+    compute, the ordering that hides halo latency on a real transport (see
+    :func:`repro.dist.spmd.spmd_pipelined_pcg` for the message-passing
+    run).  Communication is byte-identical; iterates agree to roundoff
+    (split rows accumulate in a different order), and the overlapped SpMV
+    takes the allocating path.
     """
     precond_fn = resolve_precond(precond)
     ws = resolve_workspace(workspace, mat)
@@ -254,6 +264,8 @@ def pipelined_pcg(
         return partials
 
     def spmv(vec: DistVector, out_name: str) -> DistVector:
+        if overlap:
+            return mat.spmv(vec, tracker, overlap=True)
         if ws is not None:
             return ws.spmv(mat, vec, out=ws.vector(out_name), tracker=tracker)
         return mat.spmv(vec, tracker)

@@ -9,7 +9,7 @@ Two execution engines share these data structures:
   the BSP shortcut.
 """
 
-from repro.dist.halo import HaloSchedule
+from repro.dist.halo import HaloSchedule, PendingHaloUpdate
 from repro.dist.matrix import DistMatrix, LocalMatrix
 from repro.dist.partition_map import RowPartition
 from repro.dist.redistribute import (
@@ -17,12 +17,19 @@ from repro.dist.redistribute import (
     redistribute_matrix,
     redistribute_vector,
 )
-from repro.dist.spmd import spmd_cg, spmd_dot, spmd_halo_update, spmd_spmv
+from repro.dist.spmd import (
+    spmd_cg,
+    spmd_dot,
+    spmd_halo_update,
+    spmd_pipelined_pcg,
+    spmd_spmv,
+)
 from repro.dist.vector import DistVector
 
 __all__ = [
     "RowPartition",
     "HaloSchedule",
+    "PendingHaloUpdate",
     "DistVector",
     "LocalMatrix",
     "DistMatrix",
@@ -33,4 +40,5 @@ __all__ = [
     "spmd_dot",
     "spmd_halo_update",
     "spmd_cg",
+    "spmd_pipelined_pcg",
 ]

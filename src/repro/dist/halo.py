@@ -21,10 +21,32 @@ from repro.instrument import get_metrics, get_tracer
 from repro.mpisim.injection import get_injector
 from repro.mpisim.tracker import CommTracker
 
-__all__ = ["HaloSchedule"]
+__all__ = ["HaloSchedule", "PendingHaloUpdate"]
 
 #: Tag halo messages are accounted under (mirrors ``repro.dist.spmd``).
 _TAG_HALO = 7_000
+
+
+class PendingHaloUpdate:
+    """Completion handle for a split halo update.
+
+    Returned by :meth:`HaloSchedule.update_start`; redeem with
+    :meth:`HaloSchedule.update_finish` (or :meth:`wait`) to obtain the
+    per-rank halo buffers.  In the deterministic BSP layer the exchange is
+    performed eagerly at start time — the handle models the *pattern* of a
+    nonblocking runtime (post early, complete late) so callers written
+    against it overlap correctly when run on real message passing
+    (:func:`repro.dist.spmd.spmd_pipelined_pcg`).
+    """
+
+    __slots__ = ("_halos",)
+
+    def __init__(self, halos: list[np.ndarray]):
+        self._halos = halos
+
+    def wait(self) -> list[np.ndarray]:
+        """Per-rank halo buffers (the exchange already completed at start)."""
+        return self._halos
 
 
 class HaloSchedule:
@@ -188,6 +210,27 @@ class HaloSchedule:
                     metrics.counter("halo.bytes_sent", rank=q).inc(8 * int(ids.size))
                     metrics.counter("halo.msgs", rank=q).inc()
         return halos
+
+    def update_start(
+        self,
+        x_parts: list[np.ndarray],
+        tracker: CommTracker | None = None,
+        out: list[np.ndarray] | None = None,
+    ) -> PendingHaloUpdate:
+        """Post the halo exchange; complete it with :meth:`update_finish`.
+
+        The split form exists so SpMV callers can compute on their local
+        column block *between* start and finish, overlapping compute with
+        in-flight halo traffic.  The BSP layer performs the exchange
+        eagerly here (identical tracker/metric accounting to
+        :meth:`update`); the SPMD layer's equivalent split
+        (:func:`repro.dist.spmd` halo start/finish) moves real messages.
+        """
+        return PendingHaloUpdate(self.update(x_parts, tracker, out))
+
+    def update_finish(self, pending: PendingHaloUpdate) -> list[np.ndarray]:
+        """Complete a split halo update; returns the per-rank halo buffers."""
+        return pending.wait()
 
     def _recv_buffers(self, out: list[np.ndarray] | None) -> list[np.ndarray]:
         """Validate supplied receive buffers, or allocate (and count) fresh ones.

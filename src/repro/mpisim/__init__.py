@@ -9,8 +9,16 @@ testable property.
 
 Public surface:
 
-* :func:`run_spmd` — execute a rank function on N threads.
-* :class:`Comm`, :class:`ThreadComm`, :class:`SelfComm` — communicators.
+* :func:`run_spmd` — execute a rank function on N ranks; pick the
+  substrate with ``engine="threads"`` (one OS thread per rank) or
+  ``engine="events"`` (cooperative tasks on a bounded worker pool,
+  practical at 1000+ ranks).
+* :class:`Comm`, :class:`ThreadComm`, :class:`EventComm`,
+  :class:`SelfComm` — communicators.
+* :class:`Request`, :func:`waitall`, :func:`waitany` — nonblocking
+  completion handles (``comm.isend`` / ``comm.irecv``).
+* ``comm.coalescing()`` — per-edge message coalescing epochs (fewer
+  tracked messages, byte-identical per edge).
 * :data:`SUM`, :data:`MAX`, :data:`MIN` — reduction operators.
 * :class:`CommTracker`, :func:`payload_nbytes` — traffic accounting.
 * :func:`get_injector` / :func:`install_injector` / :func:`clear_injector` —
@@ -18,7 +26,8 @@ Public surface:
 """
 
 from repro.mpisim.comm import ANY_TAG, MAX, MIN, SUM, Comm, ReduceOp, SelfComm
-from repro.mpisim.engine import Request, ThreadComm, run_spmd, waitall
+from repro.mpisim.engine import Request, ThreadComm, run_spmd, waitall, waitany
+from repro.mpisim.events import EventComm, default_workers
 from repro.mpisim.injection import (
     DuplicateEnvelope,
     clear_injector,
@@ -31,8 +40,11 @@ __all__ = [
     "Comm",
     "SelfComm",
     "ThreadComm",
+    "EventComm",
+    "default_workers",
     "Request",
     "waitall",
+    "waitany",
     "ReduceOp",
     "SUM",
     "MAX",

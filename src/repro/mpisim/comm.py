@@ -12,6 +12,7 @@ collectives from :mod:`repro.mpisim.collectives`.  Implementations:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable
 
 import numpy as np
@@ -79,19 +80,34 @@ class Comm:
     def sendrecv(self, obj, dest: int, source: int, *, tag: int = 0):
         """Exchange with two (possibly different) peers without deadlock.
 
-        Deterministic ordering: lower rank sends first.  Safe for the
-        pairwise exchanges used by halo updates.
+        Implemented as a nonblocking ``isend`` followed by a blocking
+        ``recv``: the send is buffered and completes immediately, so
+        symmetric exchanges are deadlock-free regardless of which peer
+        posts first — no rank-ordering protocol required.
         """
         self._check_peer(dest)
         self._check_peer(source)
         if self.rank == dest and self.rank == source:
             return obj
-        if self.rank < dest:
-            self.send(obj, dest, tag)
-            return self.recv(source, tag)
+        req = self.isend(obj, dest, tag)
         received = self.recv(source, tag)
-        self.send(obj, dest, tag)
+        req.wait()
         return received
+
+    def isend(self, obj, dest: int, tag: int = 0):
+        """Nonblocking send (implemented by subclasses with transport)."""
+        raise NotImplementedError
+
+    def irecv(self, source: int, tag: int = ANY_TAG):
+        """Nonblocking receive (implemented by subclasses with transport)."""
+        raise NotImplementedError
+
+    @contextmanager
+    def coalescing(self):
+        """Message-coalescing epoch; the base communicator has no transport
+        to batch, so this is a no-op context (overridden by
+        :class:`~repro.mpisim.engine.ThreadComm`)."""
+        yield self
 
     # collectives (generic algorithms over send/recv) -------------------
     def barrier(self) -> None:

@@ -1,4 +1,4 @@
-"""SPMD execution engine: run rank functions on threads with message passing.
+"""SPMD execution engine: run rank functions with real message passing.
 
 ``send`` is *buffered* (eager-mode MPI): it enqueues and returns immediately,
 so the pairwise exchange patterns used by the collectives and halo updates
@@ -6,14 +6,36 @@ cannot deadlock on matched sends.  ``recv`` blocks until a matching message
 (source, tag) arrives, with a configurable timeout that converts silent
 deadlocks into :class:`~repro.errors.CommError`.
 
+Two engines share this transport (selected by ``run_spmd(engine=...)``):
+
+* ``"threads"`` — one preemptively scheduled OS thread per rank (the
+  original engine; fine up to a few dozen ranks);
+* ``"events"`` — the cooperative engine in :mod:`repro.mpisim.events`:
+  rank tasks hold one of a bounded set of run slots while runnable and
+  park slot-free on their mailbox's condition variable while blocked, so
+  1000+ simulated ranks are practical on one machine.
+
+Delivery is condition-variable driven: each rank owns a :class:`_Mailbox`
+whose ``recv`` side scans pending messages under the mailbox lock and then
+*sleeps* on the condition until a sender's ``put`` wakes it — no poll loops,
+no busy-waiting, and one absolute deadline per receive (earlier revisions
+restarted the timeout every time an unrelated message arrived).
+
 NumPy payloads are copied on send so a rank mutating its buffer after the
 call cannot corrupt data in flight — the semantics of a real network.
+
+Per-edge message coalescing (``Comm.coalescing``) batches every payload
+sent to one destination inside the epoch into a single envelope: the
+:class:`~repro.mpisim.tracker.CommTracker` records one message whose byte
+count is the exact sum of the batched payloads — fewer messages, identical
+per-edge bytes, auditable with :func:`repro.observe.compare_snapshots`.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
+from contextlib import contextmanager
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -24,9 +46,64 @@ from repro.mpisim.comm import ANY_TAG, Comm
 from repro.mpisim.injection import DuplicateEnvelope, get_injector
 from repro.mpisim.tracker import CommTracker, payload_nbytes
 
-__all__ = ["ThreadComm", "Request", "run_spmd", "waitall"]
+__all__ = ["ThreadComm", "Request", "run_spmd", "waitall", "waitany"]
 
 _DEFAULT_TIMEOUT = 120.0
+
+#: Sentinel distinguishing "no matching message" from a ``None`` payload.
+_NOTHING = object()
+
+
+class _Mailbox:
+    """One rank's incoming-message queue with (source, tag) matching.
+
+    A single consumer (the owning rank) pops the earliest message matching
+    a ``(source, tag)`` pair; non-matching messages stay queued in arrival
+    order.  Blocking receives sleep on the mailbox condition until a
+    sender's :meth:`put` notifies them — a true wakeup, never a poll loop.
+
+    Each entry carries an *availability* timestamp modelling link latency:
+    a message only becomes matchable once ``time.monotonic()`` passes it
+    (``0.0`` — the default — means immediately).
+    """
+
+    __slots__ = ("cond", "items")
+
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.items: list[tuple[int, int, Any, float]] = []
+
+    def put(self, src: int, tag: int, obj, avail: float = 0.0) -> None:
+        """Enqueue one message and wake the (single) receiver."""
+        with self.cond:
+            self.items.append((src, tag, obj, avail))
+            self.cond.notify()
+
+    def put_many(
+        self, entries: Sequence[tuple[int, int, Any, float]]
+    ) -> None:
+        """Enqueue several messages under one lock acquisition."""
+        with self.cond:
+            self.items.extend(entries)
+            self.cond.notify()
+
+    def pop_match(self, source: int, tag: int, now: float):
+        """Pop the earliest *available* message from ``source``/``tag``.
+
+        Caller must hold :attr:`cond`.  Returns ``(entry, next_avail)``:
+        the matched ``(src, tag, obj, avail)`` tuple (or ``None``), and the
+        earliest future availability among matching in-flight messages (or
+        ``None``) so a blocked receiver knows when to wake and re-scan.
+        """
+        next_avail = None
+        for i, entry in enumerate(self.items):
+            if entry[0] == source and (tag == ANY_TAG or entry[1] == tag):
+                if entry[3] <= now:
+                    del self.items[i]
+                    return entry, None
+                if next_avail is None or entry[3] < next_avail:
+                    next_avail = entry[3]
+        return None, next_avail
 
 
 class Request:
@@ -34,7 +111,8 @@ class Request:
 
     Send requests complete immediately (sends are buffered); receive
     requests complete when a matching message is available.  ``wait`` blocks
-    and returns the payload (``None`` for sends); ``test`` polls.
+    and returns the payload (``None`` for sends); ``test`` polls.  Requests
+    compose with :func:`waitall` and :func:`waitany`.
     """
 
     __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
@@ -47,8 +125,17 @@ class Request:
         self._done = completed
         self._value = value
 
+    @property
+    def source(self) -> int | None:
+        """Peer rank a receive request is matching on (``None`` for sends)."""
+        return self._source
+
     def wait(self, timeout: float | None = None):
-        """Block until complete; returns the received payload (sends: None)."""
+        """Block until complete; returns the received payload (sends: None).
+
+        The blocking path parks on the mailbox condition variable — an idle
+        rank waiting on a request consumes no CPU.
+        """
         if not self._done:
             self._value = self._comm.recv(self._source, self._tag, timeout=timeout)
             self._done = True
@@ -58,12 +145,12 @@ class Request:
         """Non-blocking completion check: ``(done, payload_or_None)``."""
         if self._done:
             return True, self._value
-        try:
-            self._value = self._comm.recv(self._source, self._tag, timeout=0.0)
-            self._done = True
-            return True, self._value
-        except CommError:
+        value = self._comm._try_recv(self._source, self._tag)
+        if value is _NOTHING:
             return False, None
+        self._value = value
+        self._done = True
+        return True, self._value
 
 
 def waitall(requests) -> list:
@@ -71,24 +158,68 @@ def waitall(requests) -> list:
     return [req.wait() for req in requests]
 
 
+def waitany(requests, timeout: float | None = None) -> tuple[int, object]:
+    """Wait until *one* request completes; returns ``(index, payload)``.
+
+    Completed requests are preferred (cheap test scan); otherwise the call
+    blocks on whichever incomplete request matches first, scanning in order
+    with short condition waits so a message for any pending request wakes
+    the caller.  Raises :class:`~repro.errors.CommError` when ``requests``
+    is empty or the timeout expires with nothing complete.
+    """
+    reqs = list(requests)
+    if not reqs:
+        raise CommError("waitany needs at least one request")
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        for i, req in enumerate(reqs):
+            done, value = req.test()
+            if done:
+                return i, value
+        # block until *anything* lands in the mailbox, then rescan
+        comm = next((r._comm for r in reqs if r._comm is not None), None)
+        if comm is None:  # all completed-at-construction, none matched above
+            return 0, reqs[0].wait()
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            raise CommError("waitany timed out with no completed request")
+        comm._wait_for_any(remaining)
+
+
 class ThreadComm(Comm):
-    """Communicator endpoint for one SPMD thread."""
+    """Communicator endpoint for one SPMD rank (thread or event engine)."""
 
     def __init__(
         self,
         rank: int,
         size: int,
-        mailboxes: Sequence[queue.Queue],
+        mailboxes: Sequence[_Mailbox],
         tracker: CommTracker | None,
         timeout: float,
+        latency: float = 0.0,
     ):
         self.rank = rank
         self.size = size
         self._mailboxes = mailboxes
         self.tracker = tracker
         self._timeout = timeout
-        self._pending: list[tuple[int, int, Any]] = []  # out-of-order stash
+        self._latency = float(latency)
         self._seen_dups: set[int] = set()  # sequence ids of delivered duplicates
+        self._coalesce_depth = 0
+        self._coalesce_buf: dict[int, list[tuple[int, Any]]] = {}
+
+    def _avail(self) -> float:
+        """Earliest instant a message sent now becomes matchable."""
+        return time.monotonic() + self._latency if self._latency > 0.0 else 0.0
+
+    # -- engine hooks ---------------------------------------------------
+    def _on_park(self) -> None:
+        """Called once when a receive is about to block (event engine frees
+        its run slot here); the thread engine just sleeps on the condition."""
+
+    def _on_unpark(self) -> None:
+        """Called once after a blocked receive resumes (event engine
+        re-acquires a run slot here)."""
 
     # ------------------------------------------------------------------
     def send(self, obj, dest: int, tag: int = 0) -> None:
@@ -96,7 +227,9 @@ class ThreadComm(Comm):
 
         Each message is recorded in the tracker (when attached) and, with
         tracing enabled, emitted as an ``mpisim.send`` instant event tagged
-        with source, destination, tag and payload bytes.
+        with source, destination, tag and payload bytes.  Inside a
+        :meth:`Comm.coalescing` epoch the payload is staged per destination
+        and shipped in one envelope at flush time instead.
         """
         self._check_peer(dest)
         if dest == self.rank:
@@ -106,6 +239,13 @@ class ThreadComm(Comm):
         injector = get_injector()
         if injector is not None:
             obj = self._inject_on_send(injector, obj, dest, tag)
+        if self._coalesce_depth > 0 and injector is None:
+            self._coalesce_buf.setdefault(dest, []).append((tag, obj))
+            return
+        self._deliver(obj, dest, tag)
+
+    def _deliver(self, obj, dest: int, tag: int) -> None:
+        """Account for and enqueue one wire message."""
         tracer = get_tracer()
         if self.tracker is not None or tracer.enabled:
             nbytes = payload_nbytes(obj)
@@ -117,8 +257,63 @@ class ThreadComm(Comm):
                 metrics = get_metrics()
                 metrics.counter("mpisim.messages").inc()
                 metrics.counter("mpisim.bytes").inc(nbytes)
-        self._mailboxes[dest].put((self.rank, tag, obj))
+        self._mailboxes[dest].put(self.rank, tag, obj, self._avail())
 
+    # -- coalescing -----------------------------------------------------
+    @contextmanager
+    def coalescing(self):
+        """Per-edge message coalescing epoch.
+
+        Every ``send`` inside the epoch is staged per destination; on exit
+        (or before any blocking receive, to preserve progress) each
+        destination's staged payloads travel as **one** envelope.  The
+        tracker records one message per edge whose byte count is the exact
+        sum of the batched payloads — fewer messages, identical per-edge
+        bytes.  Nested epochs flush once, at the outermost exit.
+
+        With a fault injector installed, coalescing deactivates so that
+        drop/delay/duplicate verdicts keep their exact per-message
+        semantics (the chaos gates depend on them).
+        """
+        self._coalesce_depth += 1
+        try:
+            yield self
+        finally:
+            self._coalesce_depth -= 1
+            if self._coalesce_depth == 0:
+                self._flush_coalesced()
+
+    def _flush_coalesced(self) -> None:
+        """Ship every staged per-destination batch as a single envelope."""
+        if not self._coalesce_buf:
+            return
+        buf, self._coalesce_buf = self._coalesce_buf, {}
+        tracer = get_tracer()
+        for dest, items in buf.items():
+            if len(items) == 1:
+                tag, obj = items[0]
+                self._deliver(obj, dest, tag)
+                continue
+            if self.tracker is not None or tracer.enabled:
+                nbytes = sum(payload_nbytes(obj) for _, obj in items)
+                if self.tracker is not None:
+                    self.tracker.record_p2p(self.rank, dest, nbytes)
+                if tracer.enabled:
+                    tracer.event("mpisim.send", src=self.rank, dst=dest,
+                                 tag=items[0][0], bytes=nbytes,
+                                 coalesced=len(items))
+                    metrics = get_metrics()
+                    metrics.counter("mpisim.messages").inc()
+                    metrics.counter("mpisim.bytes").inc(nbytes)
+                    metrics.counter("mpisim.coalesced_payloads").inc(len(items))
+            # one envelope on the wire; the receiver matches the payloads
+            # individually, in the order they were staged
+            avail = self._avail()
+            self._mailboxes[dest].put_many(
+                [(self.rank, tag, obj, avail) for tag, obj in items]
+            )
+
+    # -- fault injection ------------------------------------------------
     def _apply_rank_faults(self, injector) -> None:
         """Raise on permanent failure; serve any pending transient stall.
 
@@ -187,7 +382,7 @@ class ThreadComm(Comm):
             obj = DuplicateEnvelope(injector.next_duplicate_seq(), obj)
             metrics.counter("mpisim.dup_messages").inc()
             tracer.event("resilience.duplicate", src=self.rank, dst=dest, seq=obj.seq)
-            self._mailboxes[dest].put((self.rank, tag, obj))  # the extra copy
+            self._mailboxes[dest].put(self.rank, tag, obj, self._avail())  # extra copy
         return obj
 
     def _accept(self, obj) -> tuple[bool, Any]:
@@ -199,6 +394,7 @@ class ThreadComm(Comm):
             return True, obj.payload
         return True, obj
 
+    # -- nonblocking ----------------------------------------------------
     def isend(self, obj, dest: int, tag: int = 0) -> Request:
         """Nonblocking send: buffered, hence complete on return."""
         self.send(obj, dest, tag)
@@ -209,12 +405,32 @@ class ThreadComm(Comm):
         self._check_peer(source)
         return Request(self, source, tag)
 
+    # -- receive --------------------------------------------------------
+    def _try_recv(self, source: int, tag: int):
+        """Deliver a matching message without blocking, else ``_NOTHING``."""
+        self._flush_coalesced()
+        mailbox = self._mailboxes[self.rank]
+        tracer = get_tracer()
+        while True:
+            with mailbox.cond:
+                entry, _ = mailbox.pop_match(source, tag, time.monotonic())
+            if entry is None:
+                return _NOTHING
+            deliver, payload = self._accept(entry[2])
+            if not deliver:
+                continue  # stale duplicate; keep scanning
+            if tracer.enabled:
+                tracer.event("mpisim.recv", src=entry[0], dst=self.rank, tag=entry[1])
+            return payload
+
     def recv(self, source: int, tag: int = ANY_TAG, *, timeout: float | None = None):
         """Block until a message matching ``(source, tag)`` arrives.
 
         With tracing enabled, time spent blocked on the mailbox is recorded
         as an ``mpisim.wait`` span tagged with the awaited source — the raw
-        material for the timeline layer's wait-time attribution.
+        material for the timeline layer's wait-time attribution.  Any open
+        coalescing epoch flushes first so peers never starve waiting on a
+        staged message.
         """
         self._check_peer(source)
         if source == self.rank:
@@ -222,43 +438,77 @@ class ThreadComm(Comm):
         injector = get_injector()
         if injector is not None:
             self._apply_rank_faults(injector)
+        value = self._try_recv(source, tag)
+        if value is not _NOTHING:
+            return value
         limit = self._timeout if timeout is None else timeout
         tracer = get_tracer()
-        # check the stash of earlier non-matching messages first
-        k = 0
-        while k < len(self._pending):
-            src, t, obj = self._pending[k]
-            if src == source and (tag == ANY_TAG or t == tag):
-                del self._pending[k]
-                deliver, payload = self._accept(obj)
-                if not deliver:
-                    continue  # stale duplicate; keep scanning from k
-                if tracer.enabled:
-                    tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
-                return payload
-            k += 1
         if tracer.enabled:
             with tracer.span("mpisim.wait", rank=self.rank, src=source, tag=tag):
                 return self._recv_blocking(source, tag, limit, tracer)
         return self._recv_blocking(source, tag, limit, tracer)
 
     def _recv_blocking(self, source: int, tag: int, limit: float, tracer):
-        while True:
-            try:
-                src, t, obj = self._mailboxes[self.rank].get(timeout=limit)
-            except queue.Empty:
-                raise CommError(
-                    f"rank {self.rank}: recv(source={source}, tag={tag}) timed out "
-                    f"after {limit}s — likely deadlock or missing send"
-                ) from None
-            if src == source and (tag == ANY_TAG or t == tag):
-                deliver, payload = self._accept(obj)
+        """Sleep on the mailbox condition until a match arrives or ``limit``
+        (one absolute deadline) expires — a condition-variable wakeup, not a
+        poll loop, so idle ranks burn no CPU."""
+        mailbox = self._mailboxes[self.rank]
+        deadline = time.monotonic() + limit
+        parked = False
+        try:
+            while True:
+                timed_out = False
+                with mailbox.cond:
+                    now = time.monotonic()
+                    entry, next_avail = mailbox.pop_match(source, tag, now)
+                    while entry is None:
+                        remaining = deadline - now
+                        if remaining <= 0:
+                            timed_out = True
+                            break
+                        if next_avail is not None:
+                            # an in-flight match exists; wake when its
+                            # modelled link latency elapses
+                            remaining = min(remaining, max(next_avail - now, 0.0))
+                        if not parked:
+                            parked = True
+                            self._on_park()  # releasing a slot never blocks
+                        mailbox.cond.wait(remaining)
+                        now = time.monotonic()
+                        entry, next_avail = mailbox.pop_match(source, tag, now)
+                if timed_out:
+                    raise CommError(
+                        f"rank {self.rank}: recv(source={source}, tag={tag}) "
+                        f"timed out after {limit}s — likely deadlock or "
+                        "missing send"
+                    )
+                deliver, payload = self._accept(entry[2])
                 if not deliver:
                     continue  # stale duplicate of an already-delivered message
                 if tracer.enabled:
-                    tracer.event("mpisim.recv", src=src, dst=self.rank, tag=t)
+                    tracer.event("mpisim.recv", src=entry[0], dst=self.rank,
+                                 tag=entry[1])
                 return payload
-            self._pending.append((src, t, obj))
+        finally:
+            if parked:
+                self._on_unpark()  # re-acquire outside the mailbox lock
+
+    def _wait_for_any(self, timeout: float | None) -> None:
+        """Park until *any* message lands in this rank's mailbox (or the
+        timeout passes); used by :func:`waitany` between matching scans."""
+        self._flush_coalesced()
+        mailbox = self._mailboxes[self.rank]
+        parked = False
+        try:
+            with mailbox.cond:
+                if any(e[3] <= time.monotonic() for e in mailbox.items):
+                    return
+                parked = True
+                self._on_park()
+                mailbox.cond.wait(0.05 if timeout is None else min(timeout, 0.05))
+        finally:
+            if parked:
+                self._on_unpark()
 
 
 def run_spmd(
@@ -267,13 +517,36 @@ def run_spmd(
     *args,
     tracker: CommTracker | None = None,
     timeout: float = _DEFAULT_TIMEOUT,
+    engine: str = "threads",
+    workers: int | None = None,
+    latency: float = 0.0,
     **kwargs,
 ) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return all results.
 
-    Each rank executes on its own thread with a :class:`ThreadComm`.  The
-    first exception raised by any rank is re-raised in the caller after all
-    threads finish or are abandoned at the timeout.
+    ``engine`` selects the execution substrate with identical messaging
+    semantics (collectives, fault injection, tracer spans and tracker
+    accounting behave the same on both):
+
+    * ``"threads"`` (default) — one preemptive OS thread per rank.  Right
+      for small rank counts and for rank functions that genuinely benefit
+      from preemption.
+    * ``"events"`` — the cooperative engine (:mod:`repro.mpisim.events`):
+      at most ``workers`` rank tasks are runnable at once and blocked tasks
+      park slot-free on their mailbox condition, so 1000+ ranks simulate
+      without thrashing the OS scheduler.  ``workers`` defaults to a small
+      multiple of the CPU count.
+
+    ``latency`` models per-message link latency in seconds: a sent message
+    only becomes matchable on the receiver once the latency elapses (the
+    send itself stays nonblocking).  The default ``0.0`` delivers
+    immediately with zero overhead.  A nonzero latency is wall-clock a
+    receiver can hide by computing between posting receives and waiting —
+    the mechanism that makes communication/computation overlap measurable
+    in :mod:`repro.observe.timeline`.
+
+    The first exception raised by any rank is re-raised in the caller after
+    all ranks finish or are abandoned at the timeout.
 
     Notes
     -----
@@ -284,7 +557,16 @@ def run_spmd(
     """
     if size < 1:
         raise CommError("size must be >= 1")
-    mailboxes = [queue.Queue() for _ in range(size)]
+    if engine == "events":
+        from repro.mpisim.events import run_spmd_events
+
+        return run_spmd_events(
+            fn, size, *args, tracker=tracker, timeout=timeout, workers=workers,
+            latency=latency, **kwargs,
+        )
+    if engine != "threads":
+        raise CommError(f"unknown engine {engine!r}; use 'threads' or 'events'")
+    mailboxes = [_Mailbox() for _ in range(size)]
     results: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -298,7 +580,7 @@ def run_spmd(
         launch_t0 = tracer.event("mpisim.launch", ranks=size).start
 
     def _worker(rank: int) -> None:
-        comm = ThreadComm(rank, size, mailboxes, tracker, timeout)
+        comm = ThreadComm(rank, size, mailboxes, tracker, timeout, latency)
         try:
             if tracer.enabled:
                 with tracer.span("spmd.rank", rank=rank) as root:
@@ -317,8 +599,9 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
+    join_deadline = time.monotonic() + timeout * 2
     for t in threads:
-        t.join(timeout=timeout * 2)
+        t.join(timeout=max(0.0, join_deadline - time.monotonic()))
     if errors:
         errors.sort(key=lambda e: e[0])
         rank, exc = errors[0]

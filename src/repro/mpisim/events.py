@@ -1,0 +1,176 @@
+"""Cooperative event-driven SPMD engine for 1000+ simulated ranks.
+
+The thread engine in :mod:`repro.mpisim.engine` gives every rank a
+preemptively scheduled OS thread; at hundreds of ranks the scheduler
+thrashes and per-thread stacks dominate memory.  This engine keeps the
+*same transport* (mailboxes, tracker accounting, fault injection, tracer
+spans) but schedules rank tasks cooperatively:
+
+* every rank task is hosted on a small-stack (1 MiB) daemon thread, so
+  1000+ tasks cost ~1 GiB of *virtual* address space and near-zero RSS;
+* a bounded semaphore of **run slots** (``workers``) caps how many tasks
+  are runnable at once — the rest are parked;
+* a task *parks* when its receive blocks: the transport's ``_on_park``
+  hook releases the task's run slot just before sleeping on the mailbox
+  condition variable, and ``_on_unpark`` re-acquires a slot after the
+  wakeup (outside the mailbox lock, so a sender needing that lock can
+  never deadlock against a waking receiver).
+
+Parked ranks consume zero CPU — delivery is condition-variable driven, so
+a 1024-rank PCG solve advances exactly the ranks whose messages have
+arrived.  Semantics are identical to ``engine="threads"``: collectives,
+``sendrecv``, coalescing epochs, fault-injection verdicts and ``mpisim.*``
+metrics all behave the same (the fault RNG is seeded per (src, dst, tag,
+sequence), so verdicts do not depend on interleaving).
+
+Use via :func:`repro.mpisim.run_spmd` with ``engine="events"``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import CommError
+from repro.instrument import get_tracer
+from repro.mpisim.engine import ThreadComm, _Mailbox
+from repro.mpisim.tracker import CommTracker
+
+__all__ = ["EventComm", "run_spmd_events", "default_workers"]
+
+#: Stack reservation per rank task (bytes).  Rank programs are shallow
+#: Python frames over NumPy kernels; 1 MiB is ample and keeps 1000+ tasks
+#: cheap.  The interpreter enforces a 32 KiB floor.
+_TASK_STACK_BYTES = 1 << 20
+
+_stack_lock = threading.Lock()
+
+
+def default_workers(size: int) -> int:
+    """Default run-slot count: enough to keep every core busy plus slack
+    for tasks blocked in injected sleeps, capped at the rank count."""
+    cores = os.cpu_count() or 1
+    return min(size, max(4, 2 * cores))
+
+
+class EventComm(ThreadComm):
+    """Transport endpoint whose blocking receives yield their run slot.
+
+    Identical messaging semantics to :class:`~repro.mpisim.engine.ThreadComm`
+    — only the scheduling hooks differ: parking releases the task's run
+    slot to the shared pool and unparking re-acquires one, so at most
+    ``workers`` rank tasks are ever runnable.
+    """
+
+    def __init__(self, rank, size, mailboxes, tracker, timeout, slots,
+                 latency: float = 0.0):
+        super().__init__(rank, size, mailboxes, tracker, timeout, latency)
+        self._slots = slots
+
+    def _on_park(self) -> None:
+        """Give up the run slot before sleeping on the mailbox condition.
+
+        ``Semaphore.release`` never blocks, so calling this while holding
+        the mailbox lock is safe.
+        """
+        self._slots.release()
+
+    def _on_unpark(self) -> None:
+        """Re-acquire a run slot after waking.
+
+        Must be called *outside* the mailbox lock: acquisition can block
+        until another task parks, and a sender may need the mailbox lock
+        to deliver the very message that lets that task park.
+        """
+        self._slots.acquire()
+
+
+def run_spmd_events(
+    fn: Callable[..., Any],
+    size: int,
+    *args,
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+    workers: int | None = None,
+    latency: float = 0.0,
+    **kwargs,
+) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` cooperative rank tasks.
+
+    At most ``workers`` tasks (default :func:`default_workers`) are
+    runnable at once; tasks blocked on a receive park slot-free on their
+    mailbox condition.  Results, error propagation, the launch event and
+    per-rank ``spmd.rank`` root spans match the thread engine exactly.
+
+    Prefer calling this through :func:`repro.mpisim.run_spmd` with
+    ``engine="events"``.
+    """
+    if size < 1:
+        raise CommError("size must be >= 1")
+    nworkers = default_workers(size) if workers is None else int(workers)
+    if nworkers < 1:
+        raise CommError("workers must be >= 1")
+    slots = threading.BoundedSemaphore(nworkers)
+    mailboxes = [_Mailbox() for _ in range(size)]
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    tracer = get_tracer()
+    launch_t0 = None
+    if tracer.enabled:
+        launch_t0 = tracer.event("mpisim.launch", ranks=size, engine="events").start
+
+    def _task(rank: int) -> None:
+        comm = EventComm(rank, size, mailboxes, tracker, timeout, slots, latency)
+        slots.acquire()  # wait for a run slot before executing any rank code
+        try:
+            if tracer.enabled:
+                with tracer.span("spmd.rank", rank=rank) as root:
+                    if launch_t0 is not None:
+                        root.set_tag("clock_offset", root.start - launch_t0)
+                    results[rank] = fn(comm, *args, **kwargs)
+            else:
+                results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — propagated to caller
+            with lock:
+                errors.append((rank, exc))
+        finally:
+            slots.release()
+
+    # threading.stack_size is process-global state: pin it around
+    # creation+start of the task threads, then restore.
+    with _stack_lock:
+        previous = threading.stack_size()
+        try:
+            threading.stack_size(_TASK_STACK_BYTES)
+        except (ValueError, RuntimeError):
+            previous = None  # platform refused; run with default stacks
+        try:
+            tasks = [
+                threading.Thread(
+                    target=_task, args=(r,), name=f"spmd-task-{r}", daemon=True
+                )
+                for r in range(size)
+            ]
+            for t in tasks:
+                t.start()
+        finally:
+            if previous is not None:
+                threading.stack_size(previous)
+
+    join_deadline = time.monotonic() + timeout * 2
+    for t in tasks:
+        t.join(timeout=max(0.0, join_deadline - time.monotonic()))
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc = errors[0]
+        raise CommError(f"rank {rank} failed: {exc!r}") from exc
+    alive = [t for t in tasks if t.is_alive()]
+    if alive:
+        raise CommError(
+            f"{len(alive)} ranks still running after timeout (deadlock?)"
+        )
+    return results

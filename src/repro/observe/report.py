@@ -290,6 +290,28 @@ class RunReport:
         return report
 
     @classmethod
+    def from_scaling_bench(cls, doc: dict, *, label: str = "scaling-bench") -> "RunReport":
+        """Build from a weak-scaling benchmark document (``BENCH_scaling.json``,
+        see :mod:`benchmarks.scaling_bench`): per-scale iteration counts,
+        message/byte totals and invariance flags become ``scaling.*`` metrics."""
+        if "summary" not in doc or "scaling" not in doc:
+            raise ReportError(
+                "not a scaling benchmark document (needs 'summary' and 'scaling')"
+            )
+        report = cls(
+            meta={
+                "label": label,
+                "source": "scaling-bench",
+                "config": doc.get("config", {}),
+            }
+        )
+        report.sections["scaling"] = dict(doc["scaling"])
+        for key, value in doc["summary"].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"scaling.{key}"] = float(value)
+        return report
+
+    @classmethod
     def from_dict(cls, doc: dict) -> "RunReport":
         """Validate and load the saved document form."""
         if not isinstance(doc, dict):
@@ -348,6 +370,8 @@ class RunReport:
             return cls.from_trace_doc(doc, label=path.stem)
         if "summary" in doc and "solver" in doc:
             return cls.from_solver_bench(doc, label=path.stem)
+        if "summary" in doc and "scaling" in doc:
+            return cls.from_scaling_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
         if fmt == "repro-chaos-report":

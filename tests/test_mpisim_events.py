@@ -1,0 +1,189 @@
+"""The event-driven engine is a drop-in for the thread engine.
+
+``run_spmd(engine="events")`` hosts rank tasks on small-stack threads
+gated by a bounded pool of run slots (see :mod:`repro.mpisim.events`); a
+blocked receive parks slot-free on its mailbox condition.  These tests
+pin the contract that matters: every collective, the fault-injection
+verdicts and the ``mpisim.*`` accounting are *identical* to
+``engine="threads"`` — only the scheduling differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.instrument import tracing
+from repro.mpisim import MAX, SUM, CommTracker, run_spmd
+from repro.mpisim.events import EventComm, default_workers
+from repro.resilience import (
+    FaultPlan,
+    MessageDrop,
+    MessageDuplicate,
+    RankStall,
+    fault_injection,
+)
+
+SIZE = 8
+
+
+def run_both(prog, size=SIZE, **kwargs):
+    """Run ``prog`` under both engines; return (results, trackers, metrics)."""
+    results, trackers, counters = {}, {}, {}
+    for engine in ("threads", "events"):
+        tracker = CommTracker()
+        with tracing() as (_, metrics):
+            results[engine] = run_spmd(
+                prog, size, tracker=tracker, timeout=30, engine=engine, **kwargs
+            )
+        trackers[engine] = tracker
+        counters[engine] = {
+            name: metrics.sum_values(name)
+            for name in ("mpisim.messages", "mpisim.bytes")
+        }
+    return results, trackers, counters
+
+
+def assert_parity(results, trackers, counters):
+    assert results["threads"] == results["events"]
+    assert trackers["threads"].snapshot() == trackers["events"].snapshot()
+    assert counters["threads"] == counters["events"]
+
+
+class TestCollectiveParity:
+    def test_bcast(self):
+        def prog(comm):
+            return comm.bcast("payload" if comm.rank == 3 else None, root=3)
+
+        assert_parity(*run_both(prog))
+
+    def test_allreduce(self):
+        def prog(comm):
+            total = comm.allreduce(np.full(4, float(comm.rank + 1)), SUM)
+            return total.tolist()
+
+        assert_parity(*run_both(prog))
+
+    def test_allreduce_max_scalar(self):
+        def prog(comm):
+            return comm.allreduce(float((comm.rank * 7) % 5), MAX)
+
+        assert_parity(*run_both(prog))
+
+    def test_alltoall(self):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 100 + d for d in range(comm.size)])
+
+        assert_parity(*run_both(prog))
+
+    def test_reduce_scatter(self):
+        def prog(comm):
+            chunks = [
+                np.full(2, float(comm.rank + d), dtype=np.float64)
+                for d in range(comm.size)
+            ]
+            return comm.reduce_scatter(chunks, SUM).tolist()
+
+        assert_parity(*run_both(prog))
+
+    def test_barrier_and_sendrecv_ring(self):
+        def prog(comm):
+            comm.barrier()
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(comm.rank, dest=right, source=left)
+            return got == left
+
+        results, trackers, counters = run_both(prog)
+        assert all(results["events"])
+        assert_parity(results, trackers, counters)
+
+
+class TestFaultParity:
+    """Fault verdicts are seeded per (src, dst, tag, sequence): the same
+    plan must produce the same drops/stalls/duplicates on both engines."""
+
+    def halo_prog(self, comm):
+        # a small neighbour exchange, repeated: enough traffic for the
+        # probabilistic faults to fire
+        total = 0.0
+        for step in range(6):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.full(8, float(comm.rank + step)), right, tag=step)
+            total += float(comm.recv(left, tag=step).sum())
+        return total
+
+    def run_with_plan(self, plan, engine):
+        tracker = CommTracker()
+        with tracing() as (_, metrics):
+            with fault_injection(plan) as inj:
+                result = run_spmd(
+                    self.halo_prog, 4, tracker=tracker, timeout=30, engine=engine
+                )
+            counts = dict(inj.counts)
+        return result, tracker.snapshot(), counts, {
+            name: metrics.sum_values(name)
+            for name in (
+                "mpisim.messages",
+                "mpisim.bytes",
+                "mpisim.dup_messages",
+                "resilience.stalls",
+            )
+        }
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(seed=11, drops=(MessageDrop(probability=0.2),)),
+            FaultPlan(seed=12, duplicates=(MessageDuplicate(probability=0.2),)),
+            FaultPlan(seed=13, stalls=(RankStall(rank=1, seconds=0.01, at_update=1),)),
+        ],
+        ids=["drop", "duplicate", "stall"],
+    )
+    def test_verdicts_match_thread_engine(self, plan):
+        base = self.run_with_plan(plan, "threads")
+        event = self.run_with_plan(plan, "events")
+        assert base == event
+        counts = base[2]
+        assert sum(counts.values()) > 0  # the plan actually fired
+
+
+class TestEventScheduling:
+    def test_one_worker_cannot_deadlock(self):
+        """With a single run slot, parked receivers must release it or the
+        sender whose message they need could never run."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(comm.size - 1)
+            comm.send(comm.rank, 0) if comm.rank == comm.size - 1 else None
+            return None
+
+        out = run_spmd(prog, 4, timeout=15, engine="events", workers=1)
+        assert out[0] == 3
+
+    def test_many_ranks_complete_quickly(self):
+        def prog(comm):
+            return float(comm.allreduce(1.0, SUM))
+
+        out = run_spmd(prog, 256, timeout=60, engine="events")
+        assert out == [256.0] * 256
+
+    def test_default_workers_scales_with_size(self):
+        assert default_workers(2) == 2
+        assert default_workers(10_000) >= 4
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(CommError, match="workers"):
+            run_spmd(lambda comm: None, 2, engine="events", workers=0)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(CommError, match="engine"):
+            run_spmd(lambda comm: None, 2, engine="fibers")
+
+    def test_event_comm_is_exported(self):
+        import repro.mpisim as m
+
+        assert m.EventComm is EventComm
