@@ -33,12 +33,25 @@ small absolute allowance, modeled times (per-iteration cost and max BSP
 wait) gate with ``--check-timings``, and wall-clock seconds are never gated.
 Without ``--bench`` the flag runs the quick (64-rank) ladder fresh.
 
+The model-conformance suite (``BENCH_conformance.json``, see
+:mod:`benchmarks.conformance_bench`) is gated via ``--conformance`` against
+``benchmarks/baselines/conformance_baseline.json``: the three structural
+flags (schedule invariance, invariance-with-telemetry, telemetry excluded
+from the audit), solver message/byte totals, sampled-rank counts and
+telemetry message counts gate exactly; telemetry payload sizes gate with a
+wide relative band (they serialise measured floats, so their JSON length
+wobbles); measured/predicted phase ratios are machine-dependent and gate
+only with ``--check-timings`` (the dedicated drift gate is
+``scripts/check_model_conformance.py``); straggler counts and wall seconds
+are never gated.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py            # quick run
     PYTHONPATH=src python scripts/check_bench_regression.py --bench BENCH_kernels.json
     PYTHONPATH=src python scripts/check_bench_regression.py --solver --bench BENCH_solver.json
     PYTHONPATH=src python scripts/check_bench_regression.py --scaling --bench BENCH_scaling.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --conformance --bench BENCH_conformance.json
 """
 
 from __future__ import annotations
@@ -87,6 +100,41 @@ BASELINE_SIZES = (12, 16)
 SOLVER_BASELINE = BASELINE.parent / "solver_baseline.json"
 
 SCALING_BASELINE = BASELINE.parent / "scaling_baseline.json"
+
+CONFORMANCE_BASELINE = BASELINE.parent / "conformance_baseline.json"
+
+
+def conformance_tolerances(
+    baseline, *, config_matches: bool, check_timings: bool
+) -> dict:
+    """Per-metric tolerances for the model-conformance suite
+    (``BENCH_conformance.json``, see :mod:`benchmarks.conformance_bench`).
+
+    Structural flags, solver traffic totals, sampled-rank counts and
+    telemetry message counts are deterministic and gate exactly; telemetry
+    byte/payload sizes serialise measured floats (their JSON length wobbles
+    run to run) and get a wide relative band; iteration counts get the
+    usual small absolute allowance; the measured/predicted phase ratios are
+    machine-dependent and gate only with ``--check-timings`` — the
+    log-scale drift gate lives in ``scripts/check_model_conformance.py``.
+    Straggler counts and wall seconds are never gated.
+    """
+    tolerances = {}
+    for name in baseline.metrics:
+        if name.endswith(
+            (".invariant", ".halo_invariant", ".telemetry_excluded",
+             ".sampled_ranks", ".telemetry_messages")
+        ):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith((".payload_bytes", ".telemetry_bytes")):
+            tolerances[name] = {"rel": 0.5}
+        elif name.endswith((".messages", ".bytes")):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith(".iterations") and config_matches:
+            tolerances[name] = {"rel": 0.0, "abs": 2.0}
+        elif ".ratio." in name and check_timings:
+            tolerances[name] = {"rel": 2.0}
+    return tolerances
 
 
 def scaling_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
@@ -149,6 +197,12 @@ def main(argv=None) -> int:
         help="gate the weak-scaling suite (BENCH_scaling.json) instead of kernels",
     )
     parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="gate the model-conformance suite (BENCH_conformance.json) "
+        "instead of kernels",
+    )
+    parser.add_argument(
         "--check-timings",
         action="store_true",
         help="also gate speedup ratios / modeled times (not for CI by default)",
@@ -165,12 +219,22 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         source = fresh.meta.get("source")
-        if args.scaling or source == "scaling-bench":
+        if args.conformance or source == "conformance-bench":
+            kind = "conformance"
+        elif args.scaling or source == "scaling-bench":
             kind = "scaling"
         elif args.solver or source == "solver-bench":
             kind = "solver"
         else:
             kind = "kernels"
+    elif args.conformance:
+        kind = "conformance"
+        sys.path.insert(0, benchdir)
+        from conformance_bench import run_conformance_suite
+
+        fresh = RunReport.from_conformance_bench(
+            run_conformance_suite(quick=True), label="fresh"
+        )
     elif args.scaling:
         kind = "scaling"
         sys.path.insert(0, benchdir)
@@ -194,11 +258,11 @@ def main(argv=None) -> int:
         result = run_suite(sizes=BASELINE_SIZES, reps=1, quick=True)
         fresh = RunReport.from_bench(result, label="fresh")
 
-    solver = kind == "solver"
     default_baseline = {
         "kernels": BASELINE,
         "solver": SOLVER_BASELINE,
         "scaling": SCALING_BASELINE,
+        "conformance": CONFORMANCE_BASELINE,
     }[kind]
     try:
         baseline = RunReport.load(args.baseline or default_baseline)
@@ -207,13 +271,17 @@ def main(argv=None) -> int:
         return 2
 
     config_matches = fresh.meta.get("config") == baseline.meta.get("config")
-    if kind in ("solver", "scaling"):
+    if kind in ("solver", "scaling", "conformance"):
         # quick runs cover a subset (matrices / scales); compare only on
         # shared metrics
         config_matches = config_matches or set(fresh.metrics) <= set(
             baseline.metrics
         )
-        tolerance_fn = solver_tolerances if solver else scaling_tolerances
+        tolerance_fn = {
+            "solver": solver_tolerances,
+            "scaling": scaling_tolerances,
+            "conformance": conformance_tolerances,
+        }[kind]
         tolerances = tolerance_fn(
             baseline,
             config_matches=config_matches,

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""CI gate: the α–β cost model must stay conformant with the simulator.
+
+Consumes a ``BENCH_conformance.json`` suite (a recorded file, or a fresh
+run of :mod:`benchmarks.conformance_bench`) and gates two different kinds of
+fact against ``benchmarks/baselines/conformance_baseline.json``:
+
+**Structural facts — exact, machine-independent.**  At every rung of the
+strong-scaled ladder:
+
+* ``invariant`` / ``halo_invariant`` — the paper's §4 guarantee that
+  FSAIE-Comm exchanges exactly the FSAI halos, the latter re-proved on the
+  wire *with streaming telemetry enabled*;
+* ``telemetry_excluded`` — telemetry traffic actually flowed (nonzero
+  telemetry bytes) while the audited point-to-point snapshots stayed
+  identical, proving the in-band channel is invisible to the auditors;
+* payload sublinearity — the serialized telemetry aggregate must grow
+  sublinearly in the rank count (it is O(sampled ranks + log-bucket
+  histograms) by construction) and stay below a quarter of the estimated
+  full-trace volume for the same solve.  The growth gate needs at least
+  two rungs and is skipped for ``--quick`` runs.
+
+**Ratio drift — banded, machine-dependent.**  The measured/predicted ratio
+of each phase (compute, halo, reduction) compares simulated wall seconds
+against modeled seconds on a reference machine, so its absolute value is
+meaningless — but its order of magnitude is stable on any one setup.  Each
+fresh ratio must stay within ``--max-drift`` decades (default 1.5) of the
+recorded baseline ratio at the same rung; a ratio that collapses to zero or
+blows up to infinity while its baseline partner did not fails outright.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_model_conformance.py --quick
+    PYTHONPATH=src python scripts/check_model_conformance.py --bench BENCH_conformance.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "conformance_baseline.json"
+)
+
+#: Structural flags that must be truthy at every rung.
+REQUIRED_FLAGS = ("invariant", "halo_invariant", "telemetry_excluded")
+
+#: Allowed order-of-magnitude drift (decades) per phase ratio vs baseline.
+MAX_DRIFT_DECADES = 1.5
+
+#: Telemetry payload must stay below this fraction of the full-trace volume.
+TRACE_FRACTION = 0.25
+
+#: Payload growth must stay below this fraction of the rank-count growth
+#: across the ladder (strict sublinearity with margin).
+GROWTH_FRACTION = 0.5
+
+
+def check_structure(entries: list[dict], *, full_ladder: bool) -> list[str]:
+    """Exact structural gates; returns failure messages."""
+    failures: list[str] = []
+    for entry in entries:
+        ranks = entry["ranks"]
+        extras = entry.get("extras", {})
+        for flag in REQUIRED_FLAGS:
+            if not extras.get(flag):
+                failures.append(f"r{ranks}: structural flag {flag!r} is false")
+        payload = entry.get("telemetry_payload_bytes", 0)
+        trace = extras.get("full_trace_bytes", 0)
+        if trace and payload >= TRACE_FRACTION * trace:
+            failures.append(
+                f"r{ranks}: telemetry payload {payload} B is not sublinear vs "
+                f"the full-trace estimate {trace} B "
+                f"(allowed < {TRACE_FRACTION:.0%})"
+            )
+    if full_ladder and len(entries) >= 2:
+        lo = min(entries, key=lambda e: e["ranks"])
+        hi = max(entries, key=lambda e: e["ranks"])
+        rank_growth = hi["ranks"] / max(lo["ranks"], 1)
+        payload_growth = hi["telemetry_payload_bytes"] / max(
+            lo["telemetry_payload_bytes"], 1
+        )
+        if payload_growth >= GROWTH_FRACTION * rank_growth:
+            failures.append(
+                f"payload grew {payload_growth:.2f}x from r{lo['ranks']} to "
+                f"r{hi['ranks']} while ranks grew {rank_growth:.0f}x — "
+                f"telemetry is not sublinear in P "
+                f"(allowed < {GROWTH_FRACTION:.0%} of rank growth)"
+            )
+    return failures
+
+
+def check_drift(
+    fresh_metrics: dict, baseline_metrics: dict, *, max_drift: float
+) -> tuple[list[str], int]:
+    """Log-scale ratio drift vs the recorded baseline; returns
+    (failures, number of ratios compared)."""
+    failures: list[str] = []
+    compared = 0
+    for name in sorted(fresh_metrics):
+        if ".ratio." not in name or name not in baseline_metrics:
+            continue
+        fresh = float(fresh_metrics[name])
+        base = float(baseline_metrics[name])
+        compared += 1
+        fresh_degenerate = fresh <= 0.0 or math.isinf(fresh)
+        base_degenerate = base <= 0.0 or math.isinf(base)
+        if fresh_degenerate or base_degenerate:
+            if fresh_degenerate != base_degenerate:
+                failures.append(
+                    f"{name}: fresh ratio {fresh:g} vs baseline {base:g} "
+                    f"(one side degenerate)"
+                )
+            continue
+        drift = abs(math.log10(fresh) - math.log10(base))
+        if drift > max_drift:
+            failures.append(
+                f"{name}: fresh ratio {fresh:.3g} drifted "
+                f"{drift:.2f} decades from baseline {base:.3g} "
+                f"(allowed {max_drift})"
+            )
+    return failures, compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        help="existing BENCH_conformance.json to check "
+        "(default: run the suite fresh)",
+    )
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="recorded conformance baseline report")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fresh runs cover the 64-rank rung only "
+        "(skips the payload-growth gate)",
+    )
+    parser.add_argument("--max-drift", type=float, default=MAX_DRIFT_DECADES,
+                        help="allowed per-ratio drift in decades")
+    args = parser.parse_args(argv)
+
+    from repro.observe import ReportError, RunReport
+
+    if args.bench:
+        try:
+            fresh = RunReport.load(args.bench)
+        except ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        from conformance_bench import run_conformance_suite
+
+        fresh = RunReport.from_conformance_bench(
+            run_conformance_suite(quick=args.quick), label="fresh"
+        )
+    if fresh.meta.get("source") != "conformance-bench":
+        print(
+            f"error: {args.bench or 'fresh run'} is not a conformance suite "
+            f"(source={fresh.meta.get('source')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = RunReport.load(args.baseline)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    entries = fresh.sections.get("conformance", {}).get("entries", [])
+    if not entries:
+        print("error: conformance suite has no ladder entries", file=sys.stderr)
+        return 2
+    full_ladder = not args.quick and len(entries) >= 2
+    failures = check_structure(entries, full_ladder=full_ladder)
+    drift_failures, compared = check_drift(
+        fresh.metrics, baseline.metrics, max_drift=args.max_drift
+    )
+    failures += drift_failures
+
+    rungs = ", ".join(f"r{e['ranks']}" for e in entries)
+    print(f"conformance gate: {len(entries)} rung(s) [{rungs}], "
+          f"{compared} ratio(s) checked against "
+          f"{Path(args.baseline).name} (band {args.max_drift} decades)")
+    if compared == 0:
+        failures.append(
+            "no phase ratios shared with the baseline — wrong baseline file?"
+        )
+    verdicts = fresh.sections.get("conformance", {}).get("verdicts", [])
+    for verdict in verdicts:
+        print(f"  note: verdict {verdict['name']} at r{verdict['ranks']}: "
+              f"{verdict['detail']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: model conformance within the recorded band "
+          f"({len(verdicts)} divergence verdict(s), structural facts hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

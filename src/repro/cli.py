@@ -8,6 +8,7 @@ Usage::
     python -m repro info    --matrix system.mtx
     python -m repro trace   --workload poisson3d --nparts 8 --output trace.json
     python -m repro chaos   --generate poisson2d:16 --ranks 4 --json chaos.json
+    python -m repro conformance --generate poisson2d:24 --ladder 4,8,16
 
 Matrix sources: ``--matrix FILE`` reads MatrixMarket; ``--generate SPEC``
 builds a synthetic problem, where SPEC is one of
@@ -248,7 +249,7 @@ def cmd_timeline(args) -> int:
         static = halo_critical_path(pre.g.schedule)
         print(f"method           : {pre.name} ({iterations} iterations)")
         print(f"static {static.render()}")
-    print(timeline.render_gantt(width=args.width))
+    print(timeline.render_gantt(width=args.width, max_ranks=args.top_ranks))
     summary = timeline.summary(top_k=args.top_edges)
     rows = [
         [
@@ -329,6 +330,123 @@ def cmd_explain(args) -> int:
     if args.json:
         print(f"\nverdict written: {verdict.save(args.json)}")
     return 0
+
+
+def cmd_conformance(args) -> int:
+    """``repro conformance``: α–β model predictions vs streamed measurements.
+
+    Strong-scales one matrix over a ladder of rank counts on the simulated
+    SPMD runtime with in-band telemetry enabled, compares
+    :meth:`~repro.perfmodel.CostModel.phase_seconds` predictions against the
+    streamed per-phase measurements at each rung, re-proves the paper's §4
+    halo-schedule invariance *with telemetry on* (telemetry traffic rides
+    its own tag and is excluded from the audit by construction), and prints
+    the per-phase ratio table with named divergence verdicts.  ``--json``
+    saves the versioned ``repro-conformance`` document; ``--prom`` writes
+    the OpenMetrics exposition.  Exit code 1 when a structural fact fails
+    (invariance broken, or no telemetry traffic observed); divergence
+    verdicts alone are informational.
+    """
+    from repro.dist.spmd import spmd_halo_update, spmd_pipelined_pcg
+    from repro.mpisim.tracker import CommTracker
+    from repro.observe import (
+        ConformanceReport,
+        RankCountConformance,
+        TelemetryConfig,
+        compare_snapshots,
+        conformance_samples,
+    )
+    from repro.observe.prom import write_openmetrics
+
+    mat = load_matrix(args)
+    if not is_symmetric(mat):
+        raise ReproError("matrix must be symmetric (CG/FSAI requirement)")
+    try:
+        ladder = [int(r) for r in args.ladder.split(",")]
+    except ValueError:
+        raise ReproError(f"--ladder expects comma-separated rank counts, "
+                         f"got {args.ladder!r}") from None
+    try:
+        rank_sample = int(args.rank_sample)
+    except ValueError:
+        rank_sample = args.rank_sample  # "all" / "sqrt" / "first:K" / "stride:K"
+    model = CostModel(MACHINES[args.machine], threads_per_process=args.threads)
+    entries = []
+    structural_ok = True
+    for ranks in ladder:
+        part = RowPartition.from_matrix(mat, ranks, seed=args.seed)
+        da = DistMatrix.from_global(mat, part)
+        b = DistVector.from_global(paper_rhs(mat, seed=args.seed), part)
+        pre = _BUILDERS[args.method](mat, part, _options(args))
+        telemetry = TelemetryConfig(rank_sample=rank_sample)
+        tracker = CommTracker()
+        _, iterations = spmd_pipelined_pcg(
+            da, b, precond_pair=(pre.g, pre.gt), rtol=args.rtol,
+            max_iterations=args.max_iterations, tracker=tracker,
+            engine=args.engine, timeout=args.timeout, telemetry=telemetry,
+        )
+        cluster = telemetry.result
+        if cluster is None:
+            raise ReproError(f"no telemetry aggregated at {ranks} ranks "
+                             f"(rank_sample={args.rank_sample!r})")
+        predicted = model.phase_seconds(
+            da, pre, iterations=iterations, reduction_phases=1
+        )
+        # §4 invariance, re-proved with telemetry enabled: the FSAI and
+        # FSAIE-Comm halo schedules must stay byte-identical even while
+        # both runs stream telemetry over the same communicator.
+        base = _BUILDERS["fsai"](mat, part, _options(args))
+        snaps = []
+        telemetry_bytes = 0
+        for g in (base.g, pre.g):
+            t = CommTracker()
+            spmd_halo_update(g, b, t, engine=args.engine,
+                             telemetry=TelemetryConfig(rank_sample=rank_sample))
+            snaps.append(t.snapshot())
+            telemetry_bytes += t.total_telemetry_bytes
+        audit = compare_snapshots(snaps[0], snaps[1], base_label="fsai",
+                                  other_label=args.method,
+                                  check_collectives=False)
+        extras = {
+            "halo_invariant": audit.invariant,
+            "telemetry_excluded": audit.invariant and telemetry_bytes > 0,
+            "messages": tracker.total_messages,
+            "bytes": tracker.total_bytes,
+            "telemetry_messages": tracker.total_telemetry_messages,
+            "telemetry_bytes": tracker.total_telemetry_bytes,
+        }
+        structural_ok &= extras["halo_invariant"] and extras["telemetry_excluded"]
+        entries.append(RankCountConformance.from_cluster(
+            ranks=ranks, iterations=iterations, predicted=predicted,
+            cluster=cluster, extras=extras,
+        ))
+        print(f"ranks {ranks:>5}: {iterations} iterations, "
+              f"{len(cluster.sampled)} sampled ranks, "
+              f"payload {cluster.payload_bytes()} B, "
+              f"invariant={extras['halo_invariant']}")
+    report = ConformanceReport(
+        entries=entries,
+        meta={
+            "case": args.generate or args.matrix,
+            "method": args.method,
+            "machine": args.machine,
+            "threads": args.threads,
+            "engine": args.engine,
+            "ladder": ladder,
+            "rank_sample": args.rank_sample,
+            "filter": args.filter,
+        },
+        share_tolerance=args.share_tolerance,
+    )
+    print()
+    print(report.render())
+    if args.json:
+        print(f"\nconformance written: {report.save(args.json)}")
+    if args.prom:
+        samples = conformance_samples(report)
+        samples += cluster.to_prom_samples()  # last rung's streamed histograms
+        print(f"openmetrics        : {write_openmetrics(args.prom, samples)}")
+    return 0 if structural_ok else 1
 
 
 def cmd_bench(args) -> int:
@@ -494,7 +612,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--width", type=int, default=72, help="Gantt chart width")
     p_tl.add_argument("--top-edges", type=int, default=5,
                       help="number of critical edges to report")
+    p_tl.add_argument(
+        "--top-ranks", type=int, default=None, metavar="N",
+        help="cap the Gantt chart at the N ranks with the most wait time "
+             "(a footer names how many ranks were elided)",
+    )
     p_tl.set_defaults(fn=cmd_timeline)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="α–β model-conformance verdicts: predicted vs streamed "
+             "per-phase seconds over a strong-scaled rank ladder",
+    )
+    add_common(p_conf, with_solver=True)
+    p_conf.add_argument("--method", choices=sorted(_BUILDERS), default="comm")
+    p_conf.add_argument("--ladder", default="4,8,16",
+                        help="comma-separated rank counts to strong-scale over")
+    p_conf.add_argument("--engine", choices=("threads", "events"),
+                        default="events", help="SPMD runtime engine")
+    p_conf.add_argument(
+        "--rank-sample", default="8",
+        help="full-span sampling policy: K, 'all', 'sqrt', 'first:K', "
+             "'stride:K', or 'none' (histograms stream on every rank "
+             "regardless)",
+    )
+    p_conf.add_argument("--share-tolerance", type=float, default=0.25,
+                        help="phase-share drift that triggers a verdict")
+    p_conf.add_argument("--timeout", type=float, default=600.0,
+                        help="per-rung SPMD wall-clock timeout (seconds)")
+    p_conf.add_argument("--json", help="write the conformance document here")
+    p_conf.add_argument("--prom", help="write OpenMetrics text exposition here")
+    p_conf.set_defaults(fn=cmd_conformance)
 
     p_expl = sub.add_parser(
         "explain",

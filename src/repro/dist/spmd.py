@@ -10,6 +10,9 @@ both engines agree, which validates the BSP shortcut.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.dist.matrix import DistMatrix
@@ -26,6 +29,21 @@ __all__ = [
 ]
 
 _TAG_HALO = 7_000
+
+
+@contextmanager
+def _compute_probe(telemetry):
+    """Stream the enclosed block's duration into the rank's telemetry
+    ``compute`` histogram (:mod:`repro.observe.stream`); free when no
+    telemetry endpoint is installed."""
+    if telemetry is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        telemetry.observe("compute", time.perf_counter() - start)
 
 
 def _halo_exchange_start(comm: Comm, mat: DistMatrix, x_local: np.ndarray) -> list:
@@ -106,13 +124,22 @@ def spmd_halo_update(
     tracker: CommTracker | None = None,
     *,
     engine: str = "threads",
+    telemetry=None,
 ) -> list[np.ndarray]:
-    """Run the halo update alone on the SPMD runtime; returns halo buffers."""
+    """Run the halo update alone on the SPMD runtime; returns halo buffers.
+
+    ``telemetry`` forwards a :class:`repro.observe.stream.TelemetryConfig`
+    to :func:`repro.mpisim.run_spmd` — the instrumented form used to
+    re-prove the paper's schedule invariance *with telemetry enabled*.
+    """
 
     def _prog(comm: Comm):
         return _halo_exchange(comm, mat, x.parts[comm.rank])
 
-    return run_spmd(_prog, mat.partition.nparts, tracker=tracker, engine=engine)
+    return run_spmd(
+        _prog, mat.partition.nparts, tracker=tracker, engine=engine,
+        telemetry=telemetry,
+    )
 
 
 def spmd_spmv(
@@ -242,6 +269,7 @@ def spmd_pipelined_pcg(
     workers: int | None = None,
     timeout: float = 120.0,
     latency: float = 0.0,
+    telemetry=None,
 ) -> tuple[DistVector, int]:
     """Pipelined PCG fully inside the SPMD runtime, built for scale.
 
@@ -264,6 +292,11 @@ def spmd_pipelined_pcg(
     ``latency`` forwards to :func:`repro.mpisim.run_spmd` — with a nonzero
     modelled link latency the overlap benefit becomes directly visible as
     reduced wait time (local compute runs inside the latency window).
+    ``telemetry`` forwards a :class:`repro.observe.stream.TelemetryConfig`:
+    every compute block is additionally timed into the rank's bounded
+    ``compute`` histogram (waits and reductions are observed by the
+    transport itself), giving :mod:`repro.observe.conformance` its
+    measured per-phase seconds without full tracing.
     Returns ``(solution, iterations)``; iterates match the BSP
     ``pipelined_pcg`` to roundoff (the overlapped split changes row
     summation order in the last ulps).
@@ -279,23 +312,27 @@ def spmd_pipelined_pcg(
     def _prog(comm: Comm):
         p = comm.rank
         tracer = get_tracer()
+        tel = comm.telemetry
 
         def local_spmv(m: DistMatrix, m_blocks, v: np.ndarray) -> np.ndarray:
             if m_blocks is not None:
                 reqs = _halo_exchange_start(comm, m, v)
                 a_ll, a_lh = m_blocks[p]
                 with tracer.span("spmd.compute", rank=p, kernel="spmv_local"):
-                    y = a_ll.spmv(v)
+                    with _compute_probe(tel):
+                        y = a_ll.spmv(v)
                 halo = _halo_exchange_finish(comm, m, reqs)
                 if a_lh is not None:
                     with tracer.span("spmd.compute", rank=p, kernel="spmv_halo"):
-                        y += a_lh.spmv(halo)
+                        with _compute_probe(tel):
+                            y += a_lh.spmv(halo)
                 return y
             halo = _halo_exchange(comm, m, v)
             lmm = m.locals[p]
             with tracer.span("spmd.compute", rank=p, kernel="spmv"):
-                vin = np.concatenate([v, halo]) if lmm.n_halo else v
-                return lmm.csr.spmv(vin)
+                with _compute_probe(tel):
+                    vin = np.concatenate([v, halo]) if lmm.n_halo else v
+                    return lmm.csr.spmv(vin)
 
         def fused_dots(*pairs: tuple[np.ndarray, np.ndarray]) -> list[float]:
             partials = np.array(
@@ -336,10 +373,11 @@ def spmd_pipelined_pcg(
                 break
             with tracer.span("spmd.iteration", rank=p, index=iterations):
                 with tracer.span("spmd.compute", rank=p, kernel="axpy"):
-                    x += alpha * pd
-                    r -= alpha * s
-                    u -= alpha * q
-                    w -= alpha * z
+                    with _compute_probe(tel):
+                        x += alpha * pd
+                        r -= alpha * s
+                        u -= alpha * q
+                        w -= alpha * z
                 rr, gamma_new, delta = fused_dots((r, r), (r, u), (w, u))
                 res = float(np.sqrt(max(rr, 0.0)))
                 iterations += 1
@@ -352,15 +390,16 @@ def spmd_pipelined_pcg(
                 denom = delta - beta * gamma / alpha if alpha != 0 else delta
                 alpha = gamma / denom if denom != 0 else 0.0
                 with tracer.span("spmd.compute", rank=p, kernel="axpy"):
-                    z = n_vec + beta * z
-                    q = m_w + beta * q
-                    pd = u + beta * pd
-                    s = w + beta * s
+                    with _compute_probe(tel):
+                        z = n_vec + beta * z
+                        q = m_w + beta * q
+                        pd = u + beta * pd
+                        s = w + beta * s
         return x, iterations
 
     results = run_spmd(
         _prog, part.nparts, tracker=tracker, timeout=timeout, engine=engine,
-        workers=workers, latency=latency,
+        workers=workers, latency=latency, telemetry=telemetry,
     )
     iters = results[0][1]
     assert all(it == iters for _, it in results)

@@ -12,6 +12,7 @@ collectives from :mod:`repro.mpisim.collectives`.  Implementations:
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Any, Callable
 
@@ -64,6 +65,18 @@ class Comm:
     size: int
     tracker: CommTracker | None
 
+    #: This rank's bounded telemetry endpoint
+    #: (:class:`repro.observe.stream.RankTelemetry`), installed by
+    #: :func:`repro.mpisim.run_spmd` when a ``telemetry=`` config is passed.
+    #: Duck-typed — the transport only calls ``observe_message`` /
+    #: ``observe_wait`` / ``observe`` on it.
+    telemetry = None
+
+    #: True while inside :meth:`telemetry_channel`: traffic is booked as
+    #: telemetry (``CommTracker.record_telemetry``) instead of solver p2p,
+    #: and is itself never observed into the telemetry histograms.
+    _telemetry_mode = False
+
     def send(self, obj, dest: int, tag: int = 0) -> None:
         """Send ``obj`` to ``dest`` (implemented by subclasses)."""
         raise NotImplementedError
@@ -109,6 +122,23 @@ class Comm:
         :class:`~repro.mpisim.engine.ThreadComm`)."""
         yield self
 
+    @contextmanager
+    def telemetry_channel(self):
+        """Book traffic sent inside this context as in-band telemetry.
+
+        The in-band aggregation of :mod:`repro.observe.stream` wraps its
+        reduction-tree hops in this context so the transport routes their
+        accounting to :meth:`CommTracker.record_telemetry` — keeping the
+        solver's audited ``p2p_*`` schedule byte-identical with telemetry
+        on or off.
+        """
+        previous = self._telemetry_mode
+        self._telemetry_mode = True
+        try:
+            yield self
+        finally:
+            self._telemetry_mode = previous
+
     # collectives (generic algorithms over send/recv) -------------------
     def barrier(self) -> None:
         """Block until every rank arrives."""
@@ -132,11 +162,22 @@ class Comm:
             return collectives.reduce(self, value, op, root)
 
     def allreduce(self, value, op: ReduceOp = SUM):
-        """Reduce and deliver the result on every rank."""
+        """Reduce and deliver the result on every rank.
+
+        When a telemetry endpoint is installed, the whole recursive-doubling
+        exchange is timed into its ``reduction`` histogram — the measured
+        counterpart of the α–β model's ``reductions`` term.
+        """
         from repro.mpisim import collectives
 
-        with get_tracer().span("mpisim.allreduce", rank=self.rank):
-            return collectives.allreduce(self, value, op)
+        telemetry = self.telemetry if not self._telemetry_mode else None
+        start = time.monotonic() if telemetry is not None else 0.0
+        try:
+            with get_tracer().span("mpisim.allreduce", rank=self.rank):
+                return collectives.allreduce(self, value, op)
+        finally:
+            if telemetry is not None:
+                telemetry.observe("reduction", time.monotonic() - start)
 
     def gather(self, value, root: int = 0):
         """Collect one value per rank at ``root``."""

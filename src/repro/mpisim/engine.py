@@ -247,17 +247,47 @@ class ThreadComm(Comm):
     def _deliver(self, obj, dest: int, tag: int) -> None:
         """Account for and enqueue one wire message."""
         tracer = get_tracer()
-        if self.tracker is not None or tracer.enabled:
-            nbytes = payload_nbytes(obj)
+        if (
+            self.tracker is not None
+            or tracer.enabled
+            or (self.telemetry is not None and not self._telemetry_mode)
+        ):
+            self._account_send(dest, tag, payload_nbytes(obj), tracer)
+        self._mailboxes[dest].put(self.rank, tag, obj, self._avail())
+
+    def _account_send(self, dest: int, tag: int, nbytes: int, tracer,
+                      coalesced: int = 0) -> None:
+        """Book one outgoing wire message with tracker, tracer and telemetry.
+
+        Inside a :meth:`Comm.telemetry_channel` context the message is
+        in-band telemetry: it lands in the tracker's separate telemetry
+        accounting (excluded from the invariance audit), its trace event is
+        tagged ``channel="telemetry"`` (excluded from timelines), and it is
+        never observed into the telemetry histograms themselves.
+        """
+        if self._telemetry_mode:
             if self.tracker is not None:
-                self.tracker.record_p2p(self.rank, dest, nbytes)
+                self.tracker.record_telemetry(self.rank, dest, nbytes)
             if tracer.enabled:
                 tracer.event("mpisim.send", src=self.rank, dst=dest, tag=tag,
-                             bytes=nbytes)
+                             bytes=nbytes, channel="telemetry")
                 metrics = get_metrics()
-                metrics.counter("mpisim.messages").inc()
-                metrics.counter("mpisim.bytes").inc(nbytes)
-        self._mailboxes[dest].put(self.rank, tag, obj, self._avail())
+                metrics.counter("mpisim.telemetry_messages").inc()
+                metrics.counter("mpisim.telemetry_bytes").inc(nbytes)
+            return
+        if self.telemetry is not None:
+            self.telemetry.observe_message(nbytes)
+        if self.tracker is not None:
+            self.tracker.record_p2p(self.rank, dest, nbytes)
+        if tracer.enabled:
+            extra = {"coalesced": coalesced} if coalesced else {}
+            tracer.event("mpisim.send", src=self.rank, dst=dest, tag=tag,
+                         bytes=nbytes, **extra)
+            metrics = get_metrics()
+            metrics.counter("mpisim.messages").inc()
+            metrics.counter("mpisim.bytes").inc(nbytes)
+            if coalesced:
+                metrics.counter("mpisim.coalesced_payloads").inc(coalesced)
 
     # -- coalescing -----------------------------------------------------
     @contextmanager
@@ -294,18 +324,14 @@ class ThreadComm(Comm):
                 tag, obj = items[0]
                 self._deliver(obj, dest, tag)
                 continue
-            if self.tracker is not None or tracer.enabled:
+            if (
+                self.tracker is not None
+                or tracer.enabled
+                or (self.telemetry is not None and not self._telemetry_mode)
+            ):
                 nbytes = sum(payload_nbytes(obj) for _, obj in items)
-                if self.tracker is not None:
-                    self.tracker.record_p2p(self.rank, dest, nbytes)
-                if tracer.enabled:
-                    tracer.event("mpisim.send", src=self.rank, dst=dest,
-                                 tag=items[0][0], bytes=nbytes,
-                                 coalesced=len(items))
-                    metrics = get_metrics()
-                    metrics.counter("mpisim.messages").inc()
-                    metrics.counter("mpisim.bytes").inc(nbytes)
-                    metrics.counter("mpisim.coalesced_payloads").inc(len(items))
+                self._account_send(dest, items[0][0], nbytes, tracer,
+                                   coalesced=len(items))
             # one envelope on the wire; the receiver matches the payloads
             # individually, in the order they were staged
             avail = self._avail()
@@ -428,9 +454,12 @@ class ThreadComm(Comm):
 
         With tracing enabled, time spent blocked on the mailbox is recorded
         as an ``mpisim.wait`` span tagged with the awaited source — the raw
-        material for the timeline layer's wait-time attribution.  Any open
-        coalescing epoch flushes first so peers never starve waiting on a
-        staged message.
+        material for the timeline layer's wait-time attribution.  A blocked
+        receive is also streamed into this rank's telemetry endpoint (when
+        installed) as a wait observation classified by tag; receives made
+        inside the telemetry channel record neither spans nor observations.
+        Any open coalescing epoch flushes first so peers never starve
+        waiting on a staged message.
         """
         self._check_peer(source)
         if source == self.rank:
@@ -443,10 +472,18 @@ class ThreadComm(Comm):
             return value
         limit = self._timeout if timeout is None else timeout
         tracer = get_tracer()
-        if tracer.enabled:
-            with tracer.span("mpisim.wait", rank=self.rank, src=source, tag=tag):
-                return self._recv_blocking(source, tag, limit, tracer)
-        return self._recv_blocking(source, tag, limit, tracer)
+        telemetry = self.telemetry if not self._telemetry_mode else None
+        start = time.monotonic() if telemetry is not None else 0.0
+        try:
+            if tracer.enabled and not self._telemetry_mode:
+                with tracer.span("mpisim.wait", rank=self.rank, src=source,
+                                 tag=tag):
+                    return self._recv_blocking(source, tag, limit, tracer)
+            return self._recv_blocking(source, tag, limit, tracer)
+        finally:
+            if telemetry is not None:
+                telemetry.observe_wait(time.monotonic() - start, tag=tag,
+                                       src=source)
 
     def _recv_blocking(self, source: int, tag: int, limit: float, tracer):
         """Sleep on the mailbox condition until a match arrives or ``limit``
@@ -520,6 +557,7 @@ def run_spmd(
     engine: str = "threads",
     workers: int | None = None,
     latency: float = 0.0,
+    telemetry=None,
     **kwargs,
 ) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return all results.
@@ -545,6 +583,14 @@ def run_spmd(
     the mechanism that makes communication/computation overlap measurable
     in :mod:`repro.observe.timeline`.
 
+    ``telemetry`` takes a :class:`repro.observe.stream.TelemetryConfig`
+    (duck-typed: anything with ``make_rank(rank, size)`` and
+    ``collect(comm, rank_telemetry)``): each rank gets a bounded telemetry
+    endpoint on ``comm.telemetry``, the transport streams blocked-receive
+    waits and message sizes into it, and after ``fn`` returns the per-rank
+    summaries are reduced in-band over an O(log P) tree — booked as
+    telemetry traffic, invisible to the audited solver schedule.
+
     The first exception raised by any rank is re-raised in the caller after
     all ranks finish or are abandoned at the timeout.
 
@@ -562,7 +608,7 @@ def run_spmd(
 
         return run_spmd_events(
             fn, size, *args, tracker=tracker, timeout=timeout, workers=workers,
-            latency=latency, **kwargs,
+            latency=latency, telemetry=telemetry, **kwargs,
         )
     if engine != "threads":
         raise CommError(f"unknown engine {engine!r}; use 'threads' or 'events'")
@@ -581,6 +627,8 @@ def run_spmd(
 
     def _worker(rank: int) -> None:
         comm = ThreadComm(rank, size, mailboxes, tracker, timeout, latency)
+        if telemetry is not None:
+            comm.telemetry = telemetry.make_rank(rank, size)
         try:
             if tracer.enabled:
                 with tracer.span("spmd.rank", rank=rank) as root:
@@ -589,6 +637,8 @@ def run_spmd(
                     results[rank] = fn(comm, *args, **kwargs)
             else:
                 results[rank] = fn(comm, *args, **kwargs)
+            if telemetry is not None:
+                telemetry.collect(comm, comm.telemetry)
         except BaseException as exc:  # noqa: BLE001 — propagated to caller
             with lock:
                 errors.append((rank, exc))

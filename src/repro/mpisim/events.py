@@ -95,14 +95,18 @@ def run_spmd_events(
     timeout: float = 120.0,
     workers: int | None = None,
     latency: float = 0.0,
+    telemetry=None,
     **kwargs,
 ) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` cooperative rank tasks.
 
     At most ``workers`` tasks (default :func:`default_workers`) are
     runnable at once; tasks blocked on a receive park slot-free on their
-    mailbox condition.  Results, error propagation, the launch event and
-    per-rank ``spmd.rank`` root spans match the thread engine exactly.
+    mailbox condition.  Results, error propagation, the launch event,
+    per-rank ``spmd.rank`` root spans and the in-band ``telemetry=`` hook
+    match the thread engine exactly (telemetry aggregation parks and
+    unparks like any other receive, so 1000-rank telemetered runs stay
+    slot-bounded).
 
     Prefer calling this through :func:`repro.mpisim.run_spmd` with
     ``engine="events"``.
@@ -125,6 +129,8 @@ def run_spmd_events(
 
     def _task(rank: int) -> None:
         comm = EventComm(rank, size, mailboxes, tracker, timeout, slots, latency)
+        if telemetry is not None:
+            comm.telemetry = telemetry.make_rank(rank, size)
         slots.acquire()  # wait for a run slot before executing any rank code
         try:
             if tracer.enabled:
@@ -134,6 +140,8 @@ def run_spmd_events(
                     results[rank] = fn(comm, *args, **kwargs)
             else:
                 results[rank] = fn(comm, *args, **kwargs)
+            if telemetry is not None:
+                telemetry.collect(comm, comm.telemetry)
         except BaseException as exc:  # noqa: BLE001 — propagated to caller
             with lock:
                 errors.append((rank, exc))

@@ -48,12 +48,23 @@ def payload_nbytes(obj) -> int:
 
 @dataclass
 class CommTracker:
-    """Thread-safe counters of point-to-point and collective traffic."""
+    """Thread-safe counters of point-to-point and collective traffic.
+
+    In-band telemetry aggregation (:mod:`repro.observe.stream`) is booked
+    on a *separate* channel — ``telemetry_messages`` / ``telemetry_bytes``
+    via :meth:`record_telemetry` — so observability traffic never pollutes
+    the solver's ``p2p_*`` accounting.  The invariance auditor
+    (:func:`repro.observe.audit.compare_snapshots`) only normalises the
+    solver keys, which is what lets the paper's schedule-unchanged claim be
+    re-proved with telemetry enabled.
+    """
 
     p2p_messages: dict[tuple[int, int], int] = field(default_factory=dict)
     p2p_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     collective_calls: dict[str, int] = field(default_factory=dict)
     collective_bytes: dict[str, int] = field(default_factory=dict)
+    telemetry_messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    telemetry_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_p2p(self, src: int, dst: int, nbytes: int) -> None:
@@ -62,6 +73,14 @@ class CommTracker:
         with self._lock:
             self.p2p_messages[key] = self.p2p_messages.get(key, 0) + 1
             self.p2p_bytes[key] = self.p2p_bytes.get(key, 0) + int(nbytes)
+
+    def record_telemetry(self, src: int, dst: int, nbytes: int) -> None:
+        """Count one in-band telemetry message of ``nbytes`` — kept out of
+        the solver's point-to-point accounting by design."""
+        key = (int(src), int(dst))
+        with self._lock:
+            self.telemetry_messages[key] = self.telemetry_messages.get(key, 0) + 1
+            self.telemetry_bytes[key] = self.telemetry_bytes.get(key, 0) + int(nbytes)
 
     def record_collective(self, name: str, nbytes: int) -> None:
         """Count one collective operation of ``nbytes``."""
@@ -80,6 +99,16 @@ class CommTracker:
         """All point-to-point bytes recorded."""
         return sum(self.p2p_bytes.values())
 
+    @property
+    def total_telemetry_messages(self) -> int:
+        """All in-band telemetry messages recorded."""
+        return sum(self.telemetry_messages.values())
+
+    @property
+    def total_telemetry_bytes(self) -> int:
+        """All in-band telemetry bytes recorded."""
+        return sum(self.telemetry_bytes.values())
+
     def edges(self) -> set[tuple[int, int]]:
         """The set of (src, dst) pairs that exchanged at least one message."""
         return {k for k, v in self.p2p_messages.items() if v > 0}
@@ -91,15 +120,24 @@ class CommTracker:
             self.p2p_bytes.clear()
             self.collective_calls.clear()
             self.collective_bytes.clear()
+            self.telemetry_messages.clear()
+            self.telemetry_bytes.clear()
 
     def snapshot(self) -> dict:
-        """A plain-dict copy suitable for comparison/serialisation."""
+        """A plain-dict copy suitable for comparison/serialisation.
+
+        The ``telemetry_*`` keys ride along for reporting but are ignored
+        by :func:`repro.observe.audit.compare_snapshots`, which normalises
+        only the solver-traffic keys.
+        """
         with self._lock:
             return {
                 "p2p_messages": dict(self.p2p_messages),
                 "p2p_bytes": dict(self.p2p_bytes),
                 "collective_calls": dict(self.collective_calls),
                 "collective_bytes": dict(self.collective_bytes),
+                "telemetry_messages": dict(self.telemetry_messages),
+                "telemetry_bytes": dict(self.telemetry_bytes),
             }
 
     def same_edges(self, other: "CommTracker") -> bool:

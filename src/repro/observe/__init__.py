@@ -27,7 +27,18 @@ turns them into artifacts that answer the paper's questions directly:
   named suspects when achieved diverges from predicted;
 * :mod:`repro.observe.prom` — Prometheus/OpenMetrics text exposition for
   any metrics registry and timeline aggregates
-  (:func:`render_openmetrics`).
+  (:func:`render_openmetrics`);
+* :mod:`repro.observe.stream` — bounded-memory streaming telemetry:
+  per-rank log-bucketed :class:`StreamingHistogram` s over wait / compute /
+  message-size distributions, deterministic rank sampling
+  (:func:`sampled_ranks`), and in-band aggregation over the simulator's own
+  reduction tree (:func:`aggregate_telemetry`) on a tag the auditors
+  exclude by construction;
+* :mod:`repro.observe.conformance` — α–β model-conformance verdicts:
+  :class:`ConformanceReport` compares :mod:`repro.perfmodel` predictions
+  against streamed measurements per phase and rank count, detects
+  straggler ranks via robust z-scores, and feeds named suspects into
+  :func:`attribute`.
 
 Import layering: this package sits *above* :mod:`repro.instrument` and
 *below* nothing — it must never import :mod:`repro.core` (solvers emit plain
@@ -35,6 +46,28 @@ tracer events; observe only reads them back), so the core package stays
 importable without the observability layer and no cycle can form.
 """
 
+from repro.observe.conformance import (
+    CONFORMANCE_FORMAT,
+    CONFORMANCE_VERSION,
+    PHASES,
+    ConformanceError,
+    ConformanceReport,
+    PhaseConformance,
+    RankCountConformance,
+    conformance_samples,
+    predicted_phases,
+)
+from repro.observe.stream import (
+    TELEMETRY_TAG,
+    ClusterTelemetry,
+    RankTelemetry,
+    StreamingHistogram,
+    TelemetryConfig,
+    TelemetryError,
+    aggregate_telemetry,
+    classify_wait_tag,
+    sampled_ranks,
+)
 from repro.observe.audit import (
     CommAuditor,
     InvarianceVerdict,
@@ -136,4 +169,22 @@ __all__ = [
     "write_openmetrics",
     "parse_exposition",
     "timeline_samples",
+    "TELEMETRY_TAG",
+    "TelemetryError",
+    "StreamingHistogram",
+    "sampled_ranks",
+    "classify_wait_tag",
+    "RankTelemetry",
+    "ClusterTelemetry",
+    "TelemetryConfig",
+    "aggregate_telemetry",
+    "CONFORMANCE_FORMAT",
+    "CONFORMANCE_VERSION",
+    "ConformanceError",
+    "PHASES",
+    "predicted_phases",
+    "PhaseConformance",
+    "RankCountConformance",
+    "ConformanceReport",
+    "conformance_samples",
 ]

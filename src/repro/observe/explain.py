@@ -327,6 +327,7 @@ def attribute(
     meta: dict | None = None,
     model_tolerance: float = 0.5,
     imbalance_band: float = 0.05,
+    conformance=None,
 ) -> AttributionVerdict:
     """Judge a set of per-method facts and name suspects for divergences.
 
@@ -345,6 +346,13 @@ def attribute(
       entries were supposed to ride already-touched lines);
     * ``comm-invariance-violated`` — the audited halo schedule differs from
       the baseline's.
+
+    ``conformance`` optionally takes a
+    :class:`repro.observe.conformance.ConformanceReport` (duck-typed:
+    anything with ``to_suspects()``); its named divergence verdicts —
+    per-phase model under/over-prediction at each rank count, straggler
+    ranks — are appended to the suspect list, so one ``repro explain``
+    surface covers both per-solve facts and at-scale model conformance.
     """
     verdict = AttributionVerdict(
         facts=list(facts), baseline=baseline, meta=dict(meta or {})
@@ -417,4 +425,6 @@ def attribute(
                         "entries are not riding already-touched cache lines",
                     )
                 )
+    if conformance is not None:
+        verdict.suspects.extend(conformance.to_suspects())
     return verdict

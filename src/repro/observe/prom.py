@@ -10,6 +10,11 @@ in the Prometheus text exposition format:
 * tags become labels with proper value escaping (backslash, double quote,
   newline);
 * histograms expose ``_count`` / ``_sum`` (plus ``_min`` / ``_max`` gauges);
+  bucketed histograms (instruments carrying a ``buckets`` mapping, e.g.
+  :meth:`repro.observe.stream.StreamingHistogram.to_samples`) additionally
+  expose the full cumulative ``_bucket{le="..."}`` family, round-trippable
+  byte-identically through :func:`parse_exposition` and
+  :meth:`~repro.observe.stream.StreamingHistogram.from_exposition`;
 * :func:`timeline_samples` turns a :class:`~repro.observe.timeline.Timeline`
   into per-rank gauges (busy / wait / slack seconds, makespan, critical
   path) so timeline aggregates ride the same endpoint.
@@ -103,8 +108,20 @@ def render_openmetrics(source, *, namespace: str = "repro") -> str:
         if kind == "counter":
             add("counter", base, "_total", tags, inst.get("value"))
         elif kind == "histogram":
-            add("summary", base, "_count", tags, inst.get("count", 0))
-            add("summary", base, "_sum", tags, inst.get("sum", 0.0))
+            buckets = inst.get("buckets")
+            if buckets:
+                # cumulative bucket counts keyed by upper bound, ascending,
+                # closed by the conventional +Inf bucket (== _count)
+                for ub in sorted(buckets, key=float):
+                    add("histogram", base, "_bucket",
+                        {**tags, "le": _fmt(float(ub))}, buckets[ub])
+                add("histogram", base, "_bucket", {**tags, "le": "+Inf"},
+                    inst.get("count", 0))
+                add("histogram", base, "_count", tags, inst.get("count", 0))
+                add("histogram", base, "_sum", tags, inst.get("sum", 0.0))
+            else:
+                add("summary", base, "_count", tags, inst.get("count", 0))
+                add("summary", base, "_sum", tags, inst.get("sum", 0.0))
             add("gauge", base, "_min", tags, inst.get("min"))
             add("gauge", base, "_max", tags, inst.get("max"))
         else:
@@ -114,8 +131,8 @@ def render_openmetrics(source, *, namespace: str = "repro") -> str:
     typed: set[str] = set()
     for (name, kind), samples in sorted(families.items()):
         type_name = name
-        for suffix in ("_count", "_sum"):
-            if kind == "summary" and type_name.endswith(suffix):
+        for suffix in ("_bucket", "_count", "_sum"):
+            if kind in ("summary", "histogram") and type_name.endswith(suffix):
                 type_name = type_name[: -len(suffix)]
         if type_name not in typed:
             lines.append(f"# TYPE {type_name} {kind}")

@@ -312,6 +312,33 @@ class RunReport:
         return report
 
     @classmethod
+    def from_conformance_bench(
+        cls, doc: dict, *, label: str = "conformance-bench"
+    ) -> "RunReport":
+        """Build from a model-conformance benchmark document
+        (``BENCH_conformance.json``, see :mod:`benchmarks.conformance_bench`):
+        per-rank-count phase ratios, straggler counts, telemetry payload
+        sizes and the structural invariance flags become ``conformance.*``
+        metrics gated by ``check_bench_regression.py --conformance``."""
+        if "summary" not in doc or "conformance" not in doc:
+            raise ReportError(
+                "not a conformance benchmark document "
+                "(needs 'summary' and 'conformance')"
+            )
+        report = cls(
+            meta={
+                "label": label,
+                "source": "conformance-bench",
+                "config": doc.get("config", {}),
+            }
+        )
+        report.sections["conformance"] = dict(doc["conformance"])
+        for key, value in doc["summary"].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"conformance.{key}"] = float(value)
+        return report
+
+    @classmethod
     def from_dict(cls, doc: dict) -> "RunReport":
         """Validate and load the saved document form."""
         if not isinstance(doc, dict):
@@ -372,6 +399,8 @@ class RunReport:
             return cls.from_solver_bench(doc, label=path.stem)
         if "summary" in doc and "scaling" in doc:
             return cls.from_scaling_bench(doc, label=path.stem)
+        if "summary" in doc and "conformance" in doc:
+            return cls.from_conformance_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
         if fmt == "repro-chaos-report":

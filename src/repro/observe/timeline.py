@@ -255,7 +255,30 @@ class Timeline:
         only meaningful when ranks genuinely run on separate clocks; the
         thread runtime shares one clock, so offsets are recorded but not
         applied by default.
+
+        Spans tagged ``channel="telemetry"`` (in-band telemetry traffic,
+        :mod:`repro.observe.stream`) are skipped: observability traffic
+        must never perturb the reconstructed solver timeline.
+
+        An empty stream, a stream of malformed spans (no ``start``), or a
+        stream in which no span can be attributed to any rank raises
+        :class:`TimelineError` naming the offending stream — a cross-rank
+        timeline of zero ranks is always a caller error, and the earlier
+        bare ``KeyError`` pointed at this module instead of the input.
         """
+        spans = list(spans)
+        stream = (meta or {}).get("source") or (meta or {}).get("label") or "<spans>"
+        if not spans:
+            raise TimelineError(
+                f"span stream {stream!r} is empty: no spans to merge into a "
+                "timeline (was tracing enabled for the run?)"
+            )
+        for i, d in enumerate(spans):
+            if not isinstance(d, dict) or "start" not in d:
+                raise TimelineError(
+                    f"span #{i} ({(d.get('name') if isinstance(d, dict) else d)!r}) "
+                    f"in stream {stream!r} has no 'start' timestamp"
+                )
         by_id: dict = {}
         for d in spans:
             sid = d.get("span_id")
@@ -297,6 +320,8 @@ class Timeline:
         for d in spans:
             name = d.get("name", "")
             tags = d.get("tags", {})
+            if tags.get("channel") == "telemetry":
+                continue  # in-band telemetry traffic is not solver activity
             if name == "mpisim.send":
                 sends.append(
                     CommEdge(
@@ -316,6 +341,14 @@ class Timeline:
             if rank is None:
                 continue  # driver-side span outside any rank stream
             per_rank.setdefault(rank, []).append(d)
+        if not per_rank:
+            names = sorted({d.get("name", "?") for d in spans})
+            raise TimelineError(
+                f"span stream {stream!r} has no rank-attributable spans "
+                f"(saw {len(spans)} spans named {names[:8]}); a cross-rank "
+                "timeline needs spans carrying a 'rank' tag or 'spmd.rank' "
+                "root spans"
+            )
 
         segments: list[Segment] = []
         for rank, ds in per_rank.items():
@@ -608,24 +641,48 @@ class Timeline:
             raise TimelineError(f"{path}: {exc}") from None
 
     # rendering ---------------------------------------------------------
-    def render_gantt(self, *, width: int = 72) -> str:
-        """ASCII per-rank Gantt chart: C compute, P pack, W wait, R reduction."""
+    def top_ranks(self, n: int | None = None) -> list[int]:
+        """The ``n`` ranks with the most wait time, in rank order.
+
+        ``None`` (or a cap at/above the rank count) returns every rank —
+        the selector behind Gantt row capping at production rank counts
+        (1024 rank rows are unreadable; the waitiest N are the story).
+        Ties break toward the lower rank id, so the selection is
+        deterministic.
+        """
+        ranks = self.ranks
+        if n is None or n <= 0 or n >= len(ranks):
+            return ranks
+        wait = self.wait_histogram()
+        return sorted(sorted(ranks, key=lambda r: (-wait[r], r))[:n])
+
+    def render_gantt(self, *, width: int = 72, max_ranks: int | None = None) -> str:
+        """ASCII per-rank Gantt chart: C compute, P pack, W wait, R reduction.
+
+        ``max_ranks`` caps the chart at the top-N ranks by wait time
+        (:meth:`top_ranks`) with a footer naming how many rows were
+        elided — the readable form above a few dozen ranks.
+        """
         if not self.segments:
             return "(empty timeline)"
         t0, t1 = self.t0, self.t1
         span = max(t1 - t0, 1e-12)
         glyph = {"compute": "C", "pack": "P", "wait": "W", "reduction": "R"}
+        shown = self.top_ranks(max_ranks)
+        elided = len(self.ranks) - len(shown)
         lines = [
             f"timeline: {len(self.ranks)} ranks, {len(self.segments)} segments, "
             f"makespan {span * 1e3:.3f} ms"
         ]
         busy = self.busy_seconds()
         wait = self.wait_histogram()
-        for rank in self.ranks:
+        by_rank: dict[int, list] = {r: [] for r in shown}
+        for s in self.segments:
+            if s.rank in by_rank:
+                by_rank[s.rank].append(s)
+        for rank in shown:
             buckets = [dict() for _ in range(width)]
-            for s in self.segments:
-                if s.rank != rank:
-                    continue
+            for s in by_rank[rank]:
                 lo = int((s.start - t0) / span * width)
                 hi = int((s.end - t0) / span * width)
                 for k in range(max(lo, 0), min(hi + 1, width)):
@@ -640,6 +697,11 @@ class Timeline:
             lines.append(
                 f"rank {rank:>2} |{row}| busy {busy[rank] * 1e3:8.3f} ms"
                 f"  wait {wait[rank] * 1e3:8.3f} ms"
+            )
+        if elided:
+            lines.append(
+                f"({elided} rank{'s' if elided != 1 else ''} elided; showing "
+                f"top {len(shown)} by wait time)"
             )
         lines.append("legend: C compute  P halo-pack  W wait  R reduction  . idle")
         return "\n".join(lines)

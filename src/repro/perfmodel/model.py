@@ -182,6 +182,34 @@ class CostModel:
             vector_ops=float(vector_ops.max()),
         )
 
+    def phase_seconds(
+        self,
+        mat: DistMatrix,
+        precond: Preconditioner | None,
+        *,
+        iterations: int = 1,
+        precond_misses: np.ndarray | None = None,
+        reduction_phases: int = 3,
+    ) -> dict[str, float]:
+        """Predicted per-rank seconds per phase over a whole solve.
+
+        The prediction side of :mod:`repro.observe.conformance`: the
+        per-iteration :meth:`iteration_cost` folded into the measured-phase
+        taxonomy (``compute`` = SpMV-A + preconditioner + vector ops,
+        ``halo``, ``reduction``) and scaled by the iteration count —
+        directly comparable against
+        :meth:`repro.observe.stream.ClusterTelemetry.phase_seconds`.
+        """
+        from repro.observe.conformance import predicted_phases
+
+        cost = self.iteration_cost(
+            mat,
+            precond,
+            precond_misses=precond_misses,
+            reduction_phases=reduction_phases,
+        )
+        return predicted_phases(cost, iterations)
+
     def precond_gflops_per_rank(
         self,
         precond: Preconditioner,

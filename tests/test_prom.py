@@ -11,6 +11,9 @@ import pytest
 
 from repro.instrument import MetricsRegistry
 from repro.observe import (
+    ClusterTelemetry,
+    RankTelemetry,
+    StreamingHistogram,
     Timeline,
     escape_label_value,
     parse_exposition,
@@ -107,3 +110,70 @@ class TestTimelineSamples:
         )
         assert "repro_pcg_iterations_total" in parsed
         assert "repro_timeline_makespan_seconds" in parsed
+
+
+class TestBucketedHistogramRoundTrip:
+    """Export -> parse -> re-export must be byte-identical for histogram
+    families (the streamed-telemetry artifact CI diffs as text)."""
+
+    def _hist(self):
+        h = StreamingHistogram()
+        for v in (1.5e-6, 1.5e-6, 3e-6, 2.5e-4, 0.125, 0.125, 0.125, 7.0):
+            h.observe(v)
+        return h
+
+    def test_bucket_family_renders_cumulative_with_inf(self):
+        text = render_openmetrics(self._hist().to_samples("wait.halo"))
+        parsed = parse_exposition(text)
+        buckets = parsed["repro_wait_halo_bucket"]
+        les = [dict(k)["le"] for k in buckets]
+        assert "+Inf" in les
+        finite = sorted(float(le) for le in les if le != "+Inf")
+        counts = [buckets[(("le", repr(le)),)] for le in finite]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[(("le", "+Inf"),)] == 8.0
+        assert parsed["repro_wait_halo_count"][()] == 8.0
+        # exactly one TYPE line for the whole family
+        assert text.count("# TYPE repro_wait_halo histogram") == 1
+        assert "# TYPE repro_wait_halo_bucket" not in text
+
+    def test_round_trip_is_byte_identical(self):
+        h = self._hist()
+        first = render_openmetrics(h.to_samples("wait.halo"))
+        clone = StreamingHistogram.from_exposition(
+            parse_exposition(first), "repro_wait_halo"
+        )
+        second = render_openmetrics(clone.to_samples("wait.halo"))
+        assert second == first
+        assert clone.buckets == h.buckets
+        assert clone.count == h.count and clone.sum == h.sum
+
+    def test_round_trip_with_labels(self):
+        h = self._hist()
+        first = render_openmetrics(h.to_samples("wait.halo", tags={"rank": 3}))
+        clone = StreamingHistogram.from_exposition(
+            parse_exposition(first), "repro_wait_halo",
+            labels=(("rank", "3"),),
+        )
+        second = render_openmetrics(clone.to_samples("wait.halo",
+                                                     tags={"rank": 3}))
+        assert second == first
+
+    def test_cluster_telemetry_exposition_parses(self):
+        t = RankTelemetry(0)
+        t.observe_wait(0.002, tag=3)
+        t.observe("compute", 0.01)
+        t.observe_message(4096)
+        cluster = ClusterTelemetry.from_rank(t)
+        parsed = parse_exposition(render_openmetrics(cluster.to_prom_samples()))
+        assert parsed["repro_telemetry_ranks"][()] == 1.0
+        assert parsed["repro_telemetry_messages_total"][()] == 1.0
+        assert "repro_telemetry_wait_halo_bucket" in parsed
+        assert "repro_telemetry_rank_wait_seconds_bucket" in parsed
+
+    def test_unbucketed_histograms_keep_summary_form(self):
+        reg = MetricsRegistry()
+        reg.histogram("solve.seconds").observe(1.0)
+        text = render_openmetrics(reg)
+        assert "# TYPE repro_solve_seconds summary" in text
+        assert "_bucket" not in text
