@@ -1,0 +1,260 @@
+"""Cache free-ride benchmark over the method ladder: ``BENCH_cache.json``.
+
+The paper's Figures 3a/5a argue that FSAIE/FSAIE-Comm extension entries are
+*nearly free*: their ``x``-operands live in cache lines the baseline FSAI
+pattern already touched, so the extra nonzeros buy iteration reductions
+without proportional L1 misses — and the effect *grows* with the cache-line
+size (64 B Skylake/Zen 2 vs 256 B A64FX).  This suite proves all three
+claims on the repo's own simulator, per grid, method and line geometry:
+
+* the attributed cache replay (:func:`repro.cachesim
+  .precond_x_misses_per_rank` with a ``ledger=``) classifies **every**
+  extension-entry ``x`` access of the ``Gᵀ(Gx)`` stream as free ride vs new
+  fill against the baseline pattern, split by local/halo extension;
+* a :class:`repro.observe.CacheConformance` report per grid confronts the
+  measured fill traffic with the :class:`repro.perfmodel.CostModel`
+  ``x``-read memory term and gates the claims — **free-ride majority**,
+  **free-ride fraction rises from 64 B to 256 B lines**, **misses-per-nnz
+  not worse than FSAI** — as pass/fail records in the document;
+* every count, fraction and flag lands in the flat ``summary`` surface
+  (``g{grid}.{method}.l{line}.*``) consumed by
+  :meth:`repro.observe.RunReport.from_cache_bench`.
+
+Everything here is a deterministic pure function of the matrix, partition
+seed and cache geometry — no timings — so ``scripts/check_cache_reuse.py``
+and ``scripts/check_bench_regression.py --cache`` gate the summary exactly
+against ``benchmarks/baselines/cache_baseline.json``.  ``--quick`` runs the
+first grid only, producing a strict key-subset with identical values.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/cache_bench.py           # full ladder
+    PYTHONPATH=src python benchmarks/cache_bench.py --quick   # first grid only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cachesim import CacheConfig, precond_x_misses_per_rank  # noqa: E402
+from repro.core import (  # noqa: E402
+    PrecondOptions,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+)
+from repro.core.fsai import fsai_pattern  # noqa: E402
+from repro.dist import RowPartition  # noqa: E402
+from repro.matgen import poisson2d  # noqa: E402
+from repro.observe import CacheConformance, FreeRideLedger  # noqa: E402
+from repro.perfmodel import MACHINES, CostModel  # noqa: E402
+
+#: Poisson grids of the ladder (``grid``² rows each).  ``--quick`` keeps the
+#: first grid only, so quick summaries are a strict key-subset of the full
+#: run with identical values — what the regression gate's subset rule needs.
+GRIDS = (32, 64)
+QUICK_GRIDS = (32,)
+RANKS = 4
+PART_SEED = 0
+#: The two evaluated line geometries: Skylake/Zen 2 and A64FX.
+LINE_SIZES = (64, 256)
+#: L1 capacity/associativity are held at the reference machine's while the
+#: line size sweeps, so the geometry effect is isolated.
+MACHINE = "skylake"
+
+#: Ladder methods: summary key → builder.
+BUILDERS = {"fsai": build_fsai, "fsaie": build_fsaie, "comm": build_fsaie_comm}
+
+#: Claim name → summary flag key (``free-ride-rises-with-line-size`` is one
+#: flag per method, the others one per method and line geometry).
+CLAIM_FLAGS = {
+    "free-ride-majority": "free_ride_majority",
+    "misses-per-nnz-not-worse": "misses_per_nnz_ok",
+    "free-ride-rises-with-line-size": "free_ride_rises",
+}
+
+
+def run_rung(grid: int) -> tuple[CacheConformance, dict]:
+    """One grid: attributed replay of every (method, line geometry) cell.
+
+    Returns the conformance report and the method-key → preconditioner-name
+    mapping used to spell summary keys.
+    """
+    machine = MACHINES[MACHINE]
+    mat = poisson2d(grid)
+    part = RowPartition.from_matrix(mat, RANKS, seed=PART_SEED)
+    model = CostModel(machine, threads_per_process=1)
+    report = CacheConformance(
+        meta={
+            "matrix": f"poisson2d:{grid}",
+            "ranks": RANKS,
+            "machine": MACHINE,
+            "line_sizes": list(LINE_SIZES),
+        }
+    )
+    names: dict[str, str] = {}
+    for line_bytes in LINE_SIZES:
+        options = PrecondOptions(line_bytes=line_bytes)
+        base_pattern = fsai_pattern(mat, options.fsai)
+        base_g = base_pattern.to_csr()
+        base_gt = base_pattern.transpose().to_csr()
+        config = CacheConfig(
+            machine.l1.size_bytes, line_bytes, machine.l1.associativity
+        )
+        for key, build in BUILDERS.items():
+            pre = build(mat, part, options)
+            names[key] = pre.name
+            ledger = FreeRideLedger(
+                method=pre.name,
+                line_bytes=line_bytes,
+                base_g=base_g,
+                base_gt=base_gt,
+                meta={"matrix": f"poisson2d:{grid}", "ranks": RANKS},
+            )
+            precond_x_misses_per_rank(pre.g, pre.gt, config, ledger=ledger)
+            report.add_ledger(
+                ledger,
+                modeled_x_bytes=float(model.precond_x_read_bytes(pre).sum()),
+            )
+    return report, names
+
+
+def _rung_summary(grid: int, report: CacheConformance, names: dict) -> dict:
+    """Flatten one rung into ``g{grid}.{method}.l{line}.*`` summary keys."""
+    summary: dict = {}
+    by_name = {name: key for key, name in names.items()}
+    for key, name in names.items():
+        for line_bytes in LINE_SIZES:
+            e = report.profile(name, line_bytes)
+            if e is None:
+                continue
+            prefix = f"g{grid}.{key}.l{line_bytes}"
+            summary[f"{prefix}.nnz"] = e.nnz
+            summary[f"{prefix}.misses"] = e.misses_total
+            summary[f"{prefix}.misses_per_nnz"] = e.misses_per_nnz
+            summary[f"{prefix}.ext_accesses"] = e.ext_accesses
+            summary[f"{prefix}.free_rides"] = e.free_rides
+            summary[f"{prefix}.free_ride_pct"] = 100.0 * e.free_ride_fraction
+            summary[f"{prefix}.free_ride_local_pct"] = (
+                100.0 * e.free_ride_fraction_local
+            )
+            summary[f"{prefix}.free_ride_halo_pct"] = (
+                100.0 * e.free_ride_fraction_halo
+            )
+            summary[f"{prefix}.model_ratio"] = e.model_ratio
+    for claim in report.claims():
+        key = by_name[claim["method"]]
+        flag = CLAIM_FLAGS[claim["claim"]]
+        if claim["claim"] == "free-ride-rises-with-line-size":
+            summary[f"g{grid}.{key}.{flag}"] = int(claim["ok"])
+        else:
+            summary[f"g{grid}.{key}.l{claim['line_bytes']}.{flag}"] = int(
+                claim["ok"]
+            )
+    return summary
+
+
+def run_cache_suite(*, quick: bool = False) -> dict:
+    """Run the grid ladder; returns the ``BENCH_cache.json`` document.
+
+    The ``cache`` section holds one versioned ``repro-cache-conformance``
+    document per grid (``g{grid}`` keys, claims and verdicts included);
+    ``summary`` is the flat exact-gated surface.
+    """
+    grids = QUICK_GRIDS if quick else GRIDS
+    cache: dict = {}
+    summary: dict = {}
+    for grid in grids:
+        report, names = run_rung(grid)
+        cache[f"g{grid}"] = report.to_dict()
+        summary.update(_rung_summary(grid, report, names))
+    return {
+        "suite": "cache",
+        "config": {
+            "grids": list(grids),
+            "ranks": RANKS,
+            "part_seed": PART_SEED,
+            "line_sizes": list(LINE_SIZES),
+            "machine": MACHINE,
+            "methods": list(BUILDERS),
+        },
+        "cache": cache,
+        "summary": summary,
+    }
+
+
+def write_cache_suite(result: dict, path, *, report: bool = True) -> Path:
+    """Write the suite JSON (and its ``.report.json`` companion)."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    if report:
+        from repro.observe import RunReport
+
+        RunReport.from_cache_bench(result, label=path.stem).save(
+            path.with_suffix(".report.json")
+        )
+    return path
+
+
+def format_summary(result: dict) -> str:
+    cfg = result["config"]
+    lines = [
+        "cache free-ride ladder (poisson2d, %d ranks, %s L1 geometry)"
+        % (cfg["ranks"], cfg["machine"]),
+    ]
+    header = (
+        f"{'grid':>6} {'method':<12} {'line':>5} {'misses':>8} "
+        f"{'miss/nnz':>9} {'ext':>9} {'free %':>7} {'claims':>7}"
+    )
+    lines += ["", header, "-" * len(header)]
+    total_failed = 0
+    for grid_key in sorted(result["cache"]):
+        doc = result["cache"][grid_key]
+        claims = doc.get("claims", [])
+        failed = sum(1 for c in claims if not c["ok"])
+        total_failed += failed
+        by_method: dict = {}
+        for c in claims:
+            cell = by_method.setdefault((c["method"], c["line_bytes"]), [0, 0])
+            cell[0] += 1
+            cell[1] += int(c["ok"])
+        for e in doc.get("entries", []):
+            n, ok = by_method.get((e["method"], e["line_bytes"]), (0, 0))
+            lines.append(
+                f"{grid_key:>6} {e['method']:<12} {e['line_bytes']:>4}B "
+                f"{e['misses_total']:>8} {e['misses_per_nnz']:>9.4f} "
+                f"{e['ext_accesses']:>9} "
+                f"{100.0 * e['free_ride_fraction']:>6.1f}% "
+                f"{ok:>3}/{n}"
+            )
+    lines.append("")
+    lines.append(f"failed claims: {total_failed}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_cache.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="first grid only (exact key-subset of the full run)")
+    args = parser.parse_args(argv)
+    result = run_cache_suite(quick=args.quick)
+    print(format_summary(result))
+    path = write_cache_suite(result, args.output)
+    print(f"\nwritten: {path}")
+    failed = sum(
+        1
+        for doc in result["cache"].values()
+        for c in doc.get("claims", [])
+        if not c["ok"]
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

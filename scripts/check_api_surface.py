@@ -32,7 +32,13 @@ from gen_api_docs import PACKAGES  # noqa: E402 — sibling script, same list
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
 #: Packages whose exported callables must all be docstring-covered.
-DOC_COVERAGE = ("repro.observe", "repro.kernels", "repro.backend", "repro.resilience")
+DOC_COVERAGE = (
+    "repro.observe",
+    "repro.kernels",
+    "repro.backend",
+    "repro.resilience",
+    "repro.cachesim",
+)
 
 
 def check_doc_coverage(modname: str) -> list[str]:

@@ -33,6 +33,17 @@ small absolute allowance, modeled times (per-iteration cost and max BSP
 wait) gate with ``--check-timings``, and wall-clock seconds are never gated.
 Without ``--bench`` the flag runs the quick (64-rank) ladder fresh.
 
+The cache free-ride suite (``BENCH_cache.json``, see
+:mod:`benchmarks.cache_bench`) is gated via ``--cache`` against
+``benchmarks/baselines/cache_baseline.json``: the attributed replay is a
+pure function of the matrix, partition seed and cache geometry, so every
+count (nonzeros, misses, extension accesses, free rides) and claim flag
+gates exactly, and the derived fractions (free-ride percentages,
+misses-per-nnz, model ratios) gate within float round-off.  The
+claim-level gate with the fresh-run fallback is
+``scripts/check_cache_reuse.py``; this entry point catches silent drift of
+the recorded numbers themselves.
+
 The model-conformance suite (``BENCH_conformance.json``, see
 :mod:`benchmarks.conformance_bench`) is gated via ``--conformance`` against
 ``benchmarks/baselines/conformance_baseline.json``: the three structural
@@ -52,6 +63,7 @@ Usage::
     PYTHONPATH=src python scripts/check_bench_regression.py --solver --bench BENCH_solver.json
     PYTHONPATH=src python scripts/check_bench_regression.py --scaling --bench BENCH_scaling.json
     PYTHONPATH=src python scripts/check_bench_regression.py --conformance --bench BENCH_conformance.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --cache --bench BENCH_cache.json
 """
 
 from __future__ import annotations
@@ -102,6 +114,36 @@ SOLVER_BASELINE = BASELINE.parent / "solver_baseline.json"
 SCALING_BASELINE = BASELINE.parent / "scaling_baseline.json"
 
 CONFORMANCE_BASELINE = BASELINE.parent / "conformance_baseline.json"
+
+CACHE_BASELINE = BASELINE.parent / "cache_baseline.json"
+
+
+def cache_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
+    """Per-metric tolerances for the cache free-ride suite
+    (``BENCH_cache.json``, see :mod:`benchmarks.cache_bench`).
+
+    Every metric is a deterministic function of the matrix, partition seed
+    and cache geometry — no timings anywhere — so integer counts and claim
+    flags gate exactly and the derived float fractions get a band that only
+    absorbs round-off, not behaviour.  ``config_matches`` and
+    ``check_timings`` are accepted for signature uniformity; a quick run is
+    an exact key-subset of the full baseline, so the shared metrics gate
+    identically either way.
+    """
+    del config_matches, check_timings
+    tolerances = {}
+    for name in baseline.metrics:
+        if name.endswith(
+            (".nnz", ".misses", ".ext_accesses", ".free_rides",
+             ".free_ride_majority", ".misses_per_nnz_ok", ".free_ride_rises")
+        ):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith(
+            (".free_ride_pct", ".free_ride_local_pct", ".free_ride_halo_pct",
+             ".misses_per_nnz", ".model_ratio")
+        ):
+            tolerances[name] = {"rel": 1e-9}
+    return tolerances
 
 
 def conformance_tolerances(
@@ -203,6 +245,12 @@ def main(argv=None) -> int:
         "instead of kernels",
     )
     parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="gate the cache free-ride suite (BENCH_cache.json) "
+        "instead of kernels",
+    )
+    parser.add_argument(
         "--check-timings",
         action="store_true",
         help="also gate speedup ratios / modeled times (not for CI by default)",
@@ -219,7 +267,9 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         source = fresh.meta.get("source")
-        if args.conformance or source == "conformance-bench":
+        if args.cache or source == "cache-bench":
+            kind = "cache"
+        elif args.conformance or source == "conformance-bench":
             kind = "conformance"
         elif args.scaling or source == "scaling-bench":
             kind = "scaling"
@@ -227,6 +277,14 @@ def main(argv=None) -> int:
             kind = "solver"
         else:
             kind = "kernels"
+    elif args.cache:
+        kind = "cache"
+        sys.path.insert(0, benchdir)
+        from cache_bench import run_cache_suite
+
+        fresh = RunReport.from_cache_bench(
+            run_cache_suite(quick=True), label="fresh"
+        )
     elif args.conformance:
         kind = "conformance"
         sys.path.insert(0, benchdir)
@@ -263,6 +321,7 @@ def main(argv=None) -> int:
         "solver": SOLVER_BASELINE,
         "scaling": SCALING_BASELINE,
         "conformance": CONFORMANCE_BASELINE,
+        "cache": CACHE_BASELINE,
     }[kind]
     try:
         baseline = RunReport.load(args.baseline or default_baseline)
@@ -271,7 +330,7 @@ def main(argv=None) -> int:
         return 2
 
     config_matches = fresh.meta.get("config") == baseline.meta.get("config")
-    if kind in ("solver", "scaling", "conformance"):
+    if kind in ("solver", "scaling", "conformance", "cache"):
         # quick runs cover a subset (matrices / scales); compare only on
         # shared metrics
         config_matches = config_matches or set(fresh.metrics) <= set(
@@ -281,6 +340,7 @@ def main(argv=None) -> int:
             "solver": solver_tolerances,
             "scaling": scaling_tolerances,
             "conformance": conformance_tolerances,
+            "cache": cache_tolerances,
         }[kind]
         tolerances = tolerance_fn(
             baseline,

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI gate: extension entries must keep riding cache lines for free.
+
+Consumes a ``BENCH_cache.json`` suite (a recorded file, or a fresh run of
+:mod:`benchmarks.cache_bench`) and gates the paper's Figures 3a/5a claims
+against ``benchmarks/baselines/cache_baseline.json``:
+
+**Ledger claims — the paper's cache story, re-proved per rung.**  Every
+claim record of every :class:`repro.observe.CacheConformance` document in
+the suite must pass: the majority of FSAIE/FSAIE-Comm extension
+``x``-accesses are free rides, the free-ride fraction does not drop from
+64 B to 256 B lines, and misses per stored nonzero stay at or below the
+FSAI baseline.  A suite whose expected claim families are missing fails
+too — silently skipped evidence is not conformance.
+
+**Exact replay counts — deterministic, machine-independent.**  The cache
+simulator is a pure function of the matrix, partition seed and cache
+geometry, so every shared summary metric (miss counts, extension-access
+counts, free-ride percentages, claim flags) must match the recorded
+baseline bit-for-bit.  Any drift means the replay, the attribution or the
+pattern construction changed — which is exactly what this gate exists to
+catch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_cache_reuse.py --quick
+    PYTHONPATH=src python scripts/check_cache_reuse.py --bench BENCH_cache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+BASELINE = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "cache_baseline.json"
+)
+
+#: Claim families every non-baseline ladder method must carry per rung.
+REQUIRED_CLAIMS = (
+    "free-ride-majority",
+    "misses-per-nnz-not-worse",
+    "free-ride-rises-with-line-size",
+)
+
+#: Relative tolerance for float metrics: the replay is deterministic, so
+#: this only absorbs JSON round-trip noise, not behavioural drift.
+FLOAT_RTOL = 1e-9
+
+
+def check_claims(cache: dict) -> tuple[list[str], int]:
+    """Gate every ledger claim of every rung; returns (failures, count)."""
+    failures: list[str] = []
+    checked = 0
+    for grid_key in sorted(cache):
+        doc = cache[grid_key]
+        claims = doc.get("claims", [])
+        seen: dict[str, set[str]] = {}
+        for claim in claims:
+            checked += 1
+            seen.setdefault(claim["method"], set()).add(claim["claim"])
+            if not claim["ok"]:
+                failures.append(
+                    f"{grid_key}: {claim['method']} failed "
+                    f"{claim['claim']!r}: {claim['detail']}"
+                )
+        if not claims:
+            failures.append(f"{grid_key}: rung carries no ledger claims")
+            continue
+        for method, names in seen.items():
+            missing = [c for c in REQUIRED_CLAIMS if c not in names]
+            if missing:
+                failures.append(
+                    f"{grid_key}: {method} is missing claim "
+                    f"families {missing}"
+                )
+    return failures, checked
+
+
+def check_exact(fresh: dict, baseline: dict) -> tuple[list[str], int]:
+    """Bit-exact comparison of shared summary metrics; returns
+    (failures, number compared)."""
+    failures: list[str] = []
+    compared = 0
+    for name in sorted(fresh):
+        if name not in baseline:
+            continue
+        compared += 1
+        got, want = fresh[name], baseline[name]
+        if isinstance(want, float) or isinstance(got, float):
+            ok = math.isclose(float(got), float(want), rel_tol=FLOAT_RTOL,
+                              abs_tol=1e-12)
+        else:
+            ok = got == want
+        if not ok:
+            failures.append(
+                f"{name}: fresh value {got!r} != recorded baseline {want!r} "
+                f"(replay counts are deterministic — the simulator or the "
+                f"pattern changed)"
+            )
+    return failures, compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        help="existing BENCH_cache.json to check (default: run the suite fresh)",
+    )
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="recorded cache baseline suite")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fresh runs cover the first grid only "
+        "(an exact key-subset of the full baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observe import ReportError, RunReport
+
+    if args.bench:
+        try:
+            fresh = RunReport.load(args.bench)
+        except ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        from cache_bench import run_cache_suite
+
+        fresh = RunReport.from_cache_bench(
+            run_cache_suite(quick=args.quick), label="fresh"
+        )
+    if fresh.meta.get("source") != "cache-bench":
+        print(
+            f"error: {args.bench or 'fresh run'} is not a cache suite "
+            f"(source={fresh.meta.get('source')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = RunReport.load(args.baseline)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = fresh.sections.get("cache", {})
+    if not cache:
+        print("error: cache suite has no ladder rungs", file=sys.stderr)
+        return 2
+    failures, checked = check_claims(cache)
+    exact_failures, compared = check_exact(fresh.metrics, baseline.metrics)
+    failures += exact_failures
+
+    rungs = ", ".join(sorted(cache))
+    print(f"cache-reuse gate: {len(cache)} rung(s) [{rungs}], "
+          f"{checked} ledger claim(s), {compared} metric(s) checked "
+          f"against {Path(args.baseline).name}")
+    if compared == 0:
+        failures.append(
+            "no summary metrics shared with the baseline — wrong baseline file?"
+        )
+    for grid_key in sorted(cache):
+        for verdict in cache[grid_key].get("verdicts", []):
+            print(f"  note: verdict {verdict['name']} for "
+                  f"{verdict['method']} at {grid_key}: {verdict['detail']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: extension entries ride recorded cache lines — all ledger "
+          "claims hold and replay counts match the baseline exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

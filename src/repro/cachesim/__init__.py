@@ -10,7 +10,12 @@ Predefined L1 geometries for the three evaluated machines are exposed as
 :data:`L1_SKYLAKE`, :data:`L1_A64FX` and :data:`L1_ZEN2`.
 """
 
-from repro.cachesim.cache import CacheConfig, SetAssociativeCache, simulate_misses
+from repro.cachesim.cache import (
+    NO_LINE,
+    CacheConfig,
+    SetAssociativeCache,
+    simulate_misses,
+)
 from repro.cachesim.hierarchy import (
     L2_A64FX,
     L2_SKYLAKE,
@@ -20,6 +25,8 @@ from repro.cachesim.hierarchy import (
 )
 from repro.cachesim.lines import doubles_per_line, line_block, line_ids, line_of
 from repro.cachesim.spmv_trace import (
+    X_MISSES_GAUGE,
+    entry_categories,
     precond_x_misses,
     precond_x_misses_per_rank,
     spmv_x_misses,
@@ -34,6 +41,7 @@ L1_A64FX = CacheConfig(size_bytes=64 * 1024, line_bytes=256, associativity=4)
 L1_ZEN2 = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=8)
 
 __all__ = [
+    "NO_LINE",
     "CacheConfig",
     "SetAssociativeCache",
     "simulate_misses",
@@ -46,7 +54,9 @@ __all__ = [
     "line_of",
     "line_block",
     "line_ids",
+    "X_MISSES_GAUGE",
     "x_access_lines",
+    "entry_categories",
     "spmv_x_misses",
     "precond_x_misses",
     "precond_x_misses_per_rank",

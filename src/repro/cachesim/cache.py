@@ -17,6 +17,10 @@ import numpy as np
 
 __all__ = ["CacheConfig", "SetAssociativeCache", "simulate_misses"]
 
+#: Sentinel "no line" value used by the attribution API (line ids are
+#: non-negative, so -1 can never collide with a real line).
+NO_LINE = -1
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -57,9 +61,9 @@ class SetAssociativeCache:
     low bits, true-LRU replacement within the set.
     """
 
-    __slots__ = ("config", "_tags", "_stamps", "_clock", "hits", "misses")
+    __slots__ = ("config", "_tags", "_stamps", "_clock", "hits", "misses", "listener")
 
-    def __init__(self, config: CacheConfig):
+    def __init__(self, config: CacheConfig, *, listener=None):
         self.config = config
         ns, assoc = config.num_sets, config.associativity
         self._tags = np.full((ns, assoc), -1, dtype=np.int64)
@@ -67,9 +71,24 @@ class SetAssociativeCache:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        #: Optional attribution hook: called as ``listener(line_id, hit,
+        #: evicted)`` on every access, where ``evicted`` is the line id
+        #: displaced by the fill (:data:`NO_LINE` on hits and on fills into
+        #: empty ways).  Drives the free-ride ledger of
+        #: :mod:`repro.observe.memtraffic`.
+        self.listener = listener
 
     def access(self, line_id: int) -> bool:
         """Touch one line; returns True on hit, False on miss (with fill)."""
+        return self.access_attributed(line_id)[0]
+
+    def access_attributed(self, line_id: int) -> tuple[bool, int]:
+        """Touch one line with eviction attribution.
+
+        Returns ``(hit, evicted)`` where ``evicted`` is the line id displaced
+        by the fill, or :data:`NO_LINE` on a hit or a fill into an empty way.
+        Notifies :attr:`listener` when one is attached.
+        """
         ns = self.config.num_sets
         s = line_id % ns
         tag = line_id // ns
@@ -79,12 +98,18 @@ class SetAssociativeCache:
         if hit_ways.size:
             self._stamps[s, hit_ways[0]] = self._clock
             self.hits += 1
-            return True
+            if self.listener is not None:
+                self.listener(line_id, True, NO_LINE)
+            return True, NO_LINE
         victim = int(np.argmin(self._stamps[s]))
+        old_tag = int(row[victim])
+        evicted = old_tag * ns + s if old_tag >= 0 else NO_LINE
         row[victim] = tag
         self._stamps[s, victim] = self._clock
         self.misses += 1
-        return False
+        if self.listener is not None:
+            self.listener(line_id, False, evicted)
+        return False, evicted
 
     def access_stream(self, line_ids: np.ndarray) -> int:
         """Replay a whole line-id stream; returns the number of misses.
@@ -92,20 +117,38 @@ class SetAssociativeCache:
         The loop runs per access (LRU state is inherently sequential) but
         batches the common fast path: runs of accesses to the *same* line as
         the previous access always hit and are removed vectorially first.
+        With a :attr:`listener` attached, the fast path is skipped so the
+        hook observes every access individually (immediate repeats are
+        reported as hits with no eviction).
         """
         line_ids = np.asarray(line_ids, dtype=np.int64)
         if line_ids.size == 0:
             return 0
+        before = self.misses
+        if self.listener is not None:
+            for lid in line_ids.tolist():
+                self.access_attributed(lid)
+            return self.misses - before
         # collapse immediate repeats — guaranteed hits, huge fraction of SpMV
         keep = np.empty(line_ids.size, dtype=bool)
         keep[0] = True
         np.not_equal(line_ids[1:], line_ids[:-1], out=keep[1:])
         collapsed = line_ids[keep]
         self.hits += int(line_ids.size - collapsed.size)
-        before = self.misses
         for lid in collapsed.tolist():
             self.access(lid)
         return self.misses - before
+
+    def resident_lines(self) -> np.ndarray:
+        """Snapshot of the line ids currently resident (sorted, no LRU touch)."""
+        ns = self.config.num_sets
+        sets, ways = np.nonzero(self._tags >= 0)
+        return np.sort(self._tags[sets, ways] * ns + sets)
+
+    def is_resident(self, line_id: int) -> bool:
+        """Whether a line is currently cached, without touching LRU state."""
+        ns = self.config.num_sets
+        return bool(np.any(self._tags[line_id % ns] == line_id // ns))
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (contents stay)."""

@@ -8,23 +8,46 @@ For a CSR SpMV traversed row-by-row, the ``x`` accesses are exactly
 ``x[indices]`` in storage order; each access touches the cache line of its
 (local) column index.  Halo values live in the buffer appended after the
 local section, matching the layout of :class:`repro.dist.matrix.LocalMatrix`.
+
+The ``ledger=`` mode of :func:`precond_x_misses_per_rank` replays the same
+stream with per-access attribution: every stored entry is classified against
+the baseline FSAI pattern (:func:`entry_categories`) and every access lands
+in a :class:`repro.observe.memtraffic.FreeRideLedger` as a free ride or a
+new fill, with reuse distances — the line-level evidence behind the paper's
+"extensions are nearly free" claim.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.cachesim.cache import CacheConfig, simulate_misses
+from repro.cachesim.cache import (
+    NO_LINE,
+    CacheConfig,
+    SetAssociativeCache,
+    simulate_misses,
+)
 from repro.cachesim.lines import line_ids
-from repro.dist.matrix import DistMatrix
+from repro.dist.matrix import DistMatrix, LocalMatrix
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
+    "X_MISSES_GAUGE",
     "x_access_lines",
+    "entry_categories",
     "spmv_x_misses",
     "precond_x_misses",
     "precond_x_misses_per_rank",
 ]
+
+#: Rank-tagged gauge name for per-rank preconditioner ``x`` misses —
+#: module-level constant like ``filter.load`` / ``halo.bytes_sent`` so every
+#: emission site and every reader share one spelling.
+X_MISSES_GAUGE = "cachesim.x_misses"
+
+#: Entry-category codes emitted by :func:`entry_categories`, indexing
+#: :data:`repro.observe.memtraffic.CATEGORIES`.
+CATEGORY_BASE, CATEGORY_EXT_LOCAL, CATEGORY_EXT_HALO = 0, 1, 2
 
 
 def x_access_lines(mat: CSRMatrix, line_bytes: int) -> np.ndarray:
@@ -32,21 +55,94 @@ def x_access_lines(mat: CSRMatrix, line_bytes: int) -> np.ndarray:
     return line_ids(mat.indices, line_bytes)
 
 
+def entry_categories(local: LocalMatrix, base_csr: CSRMatrix) -> np.ndarray:
+    """Classify every stored entry of a local block against a baseline.
+
+    Returns one int8 code per stored entry in storage order (aligned with
+    the :func:`x_access_lines` stream): :data:`CATEGORY_BASE` when the
+    entry's (global row, global column) is present in ``base_csr`` — the
+    global baseline-pattern matrix — :data:`CATEGORY_EXT_LOCAL` for an
+    extension entry on a locally-owned column and :data:`CATEGORY_EXT_HALO`
+    for an extension entry on a halo column.
+    """
+    csr = local.csr
+    n_local = local.n_local
+    col_map = np.concatenate([local.global_rows, local.ext_cols])
+    out = np.empty(csr.nnz, dtype=np.int8)
+    for li in range(csr.nrows):
+        lo, hi = int(csr.indptr[li]), int(csr.indptr[li + 1])
+        if lo == hi:
+            continue
+        cols = csr.indices[lo:hi]
+        g = int(local.global_rows[li])
+        base_row = base_csr.indices[base_csr.indptr[g]:base_csr.indptr[g + 1]]
+        cat = np.where(
+            cols < n_local, CATEGORY_EXT_LOCAL, CATEGORY_EXT_HALO
+        ).astype(np.int8)
+        cat[np.isin(col_map[cols], base_row)] = CATEGORY_BASE
+        out[lo:hi] = cat
+    return out
+
+
 def spmv_x_misses(mat: CSRMatrix, config: CacheConfig) -> int:
     """L1 misses on ``x`` for one SpMV with ``mat`` on a cold cache."""
     return simulate_misses(x_access_lines(mat, config.line_bytes), config)
 
 
+def _replay_attributed(
+    lines: np.ndarray, cats: np.ndarray, config: CacheConfig, ledger, *, rank: int
+) -> int:
+    """Attributed replay of one rank's stream into ``ledger``; returns the
+    miss count (identical to the unattributed replay's)."""
+    from repro.observe.memtraffic import CATEGORIES, RankLedger
+
+    cache = SetAssociativeCache(config)
+    rank_ledger = RankLedger(rank=rank)
+    filled_by: dict[int, str] = {}
+    last_seen: dict[int, int] = {}
+    for i, (lid, code) in enumerate(zip(lines.tolist(), cats.tolist())):
+        hit, evicted = cache.access_attributed(lid)
+        if evicted != NO_LINE:
+            filled_by.pop(evicted, None)
+        prev = last_seen.get(lid)
+        last_seen[lid] = i
+        category = CATEGORIES[code]
+        rank_ledger.record(
+            category,
+            hit,
+            filled_by.get(lid),
+            None if prev is None else i - prev,
+        )
+        if not hit:
+            filled_by[lid] = category
+    ledger.add_rank(rank_ledger)
+    return cache.misses
+
+
 def precond_x_misses_per_rank(
-    g: DistMatrix, gt: DistMatrix, config: CacheConfig
+    g: DistMatrix, gt: DistMatrix, config: CacheConfig, *, ledger=None
 ) -> np.ndarray:
     """Per-rank misses on ``x`` for the operation ``Gᵀ(Gx)``.
 
     Both SpMVs are replayed back-to-back per rank through one cache (the
     second product reuses lines the first loaded, as on real hardware).
+
+    With a :class:`repro.observe.memtraffic.FreeRideLedger` passed as
+    ``ledger``, the replay runs attributed: each stored entry is classified
+    against the ledger's ``base_g`` / ``base_gt`` global baseline patterns
+    and every access is recorded as a free ride or new fill with its reuse
+    distance.  Miss counts are identical either way.
     """
     from repro.instrument import get_metrics, get_tracer
 
+    if ledger is not None:
+        if getattr(ledger, "base_g", None) is None or getattr(ledger, "base_gt", None) is None:
+            raise ValueError(
+                "ledger mode needs ledger.base_g / ledger.base_gt baseline "
+                "pattern matrices for entry classification"
+            )
+        ledger.nnz = int(g.nnz)
+        ledger.base_nnz = int(ledger.base_g.nnz)
     tracer = get_tracer()
     metrics = get_metrics()
     nparts = g.partition.nparts
@@ -59,9 +155,18 @@ def precond_x_misses_per_rank(
                     x_access_lines(gt.locals[p].csr, config.line_bytes),
                 ]
             )
-            out[p] = simulate_misses(stream, config)
+            if ledger is None:
+                out[p] = simulate_misses(stream, config)
+            else:
+                cats = np.concatenate(
+                    [
+                        entry_categories(g.locals[p], ledger.base_g),
+                        entry_categories(gt.locals[p], ledger.base_gt),
+                    ]
+                )
+                out[p] = _replay_attributed(stream, cats, config, ledger, rank=p)
             if metrics.enabled:
-                metrics.gauge("cachesim.x_misses", rank=p).set(int(out[p]))
+                metrics.gauge(X_MISSES_GAUGE, rank=p).set(int(out[p]))
     return out
 
 

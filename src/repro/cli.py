@@ -9,6 +9,7 @@ Usage::
     python -m repro trace   --workload poisson3d --nparts 8 --output trace.json
     python -m repro chaos   --generate poisson2d:16 --ranks 4 --json chaos.json
     python -m repro conformance --generate poisson2d:24 --ladder 4,8,16
+    python -m repro cache   --generate poisson2d:32 --line-bytes 64,256
 
 Matrix sources: ``--matrix FILE`` reads MatrixMarket; ``--generate SPEC``
 builds a synthetic problem, where SPEC is one of
@@ -284,27 +285,38 @@ def cmd_explain(args) -> int:
     """``repro explain``: attribution verdict for FSAI vs FSAIE vs FSAIE-Comm.
 
     Builds and solves with each pattern, feeds achieved iterations, the
-    perfmodel prediction, cachesim misses and the invariance audit into
-    :func:`repro.observe.attribute`, and prints the verdict with named
-    suspects when achieved diverges from predicted.
+    perfmodel prediction, cachesim misses, per-line free-ride ledgers and
+    the invariance audit into :func:`repro.observe.attribute`, and prints
+    the verdict with named suspects when achieved diverges from predicted —
+    ``cache-reuse-not-realized`` citing the ledger's actual line evidence.
     """
     from repro.cachesim import precond_x_misses_per_rank
-    from repro.observe import MethodFacts, attribute
+    from repro.core.fsai import fsai_pattern
+    from repro.observe import FreeRideLedger, MethodFacts, attribute
 
     mat, part, da, b = _setup(args)
     machine = MACHINES[args.machine]
     model = CostModel(machine, threads_per_process=args.threads)
+    options = _options(args)
+    base_pattern = fsai_pattern(mat, options.fsai)
+    base_g = base_pattern.to_csr()
+    base_gt = base_pattern.transpose().to_csr()
     preconds = {}
     facts = []
+    ledgers = {}
     for method, build in _BUILDERS.items():
-        pre = build(mat, part, _options(args))
+        pre = build(mat, part, options)
         preconds[method] = pre
         result = pcg(
             da, b, precond=pre, rtol=args.rtol, max_iterations=args.max_iterations
         )
-        misses = precond_x_misses_per_rank(
-            pre.g, pre.gt, machine.l1.scaled(args.threads)
+        l1 = machine.l1.scaled(args.threads)
+        ledger = FreeRideLedger(
+            method=pre.name, line_bytes=l1.line_bytes,
+            base_g=base_g, base_gt=base_gt,
         )
+        misses = precond_x_misses_per_rank(pre.g, pre.gt, l1, ledger=ledger)
+        ledgers[pre.name] = ledger
         invariant = None
         if method == "comm":
             invariant = check_comm_invariance(preconds["fsai"], pre)
@@ -325,8 +337,22 @@ def cmd_explain(args) -> int:
             "machine": args.machine,
             "filter": args.filter,
         },
+        ledgers=ledgers,
     )
     print(verdict.render())
+    print()
+    print("free-ride ledgers (extension x-accesses riding resident lines):")
+    for name, ledger in ledgers.items():
+        if ledger.ext_accesses:
+            print(
+                f"  {name:<12}: {ledger.free_rides}/{ledger.ext_accesses} "
+                f"({ledger.free_ride_fraction:.1%}) free at "
+                f"{ledger.line_bytes} B — local "
+                f"{ledger.free_ride_fraction_local:.1%}, halo "
+                f"{ledger.free_ride_fraction_halo:.1%}"
+            )
+        else:
+            print(f"  {name:<12}: no extension entries (baseline pattern)")
     if args.json:
         print(f"\nverdict written: {verdict.save(args.json)}")
     return 0
@@ -447,6 +473,93 @@ def cmd_conformance(args) -> int:
         samples += cluster.to_prom_samples()  # last rung's streamed histograms
         print(f"openmetrics        : {write_openmetrics(args.prom, samples)}")
     return 0 if structural_ok else 1
+
+
+def cmd_cache(args) -> int:
+    """``repro cache``: per-line free-ride ledgers and conformance verdicts.
+
+    Replays the ``Gᵀ(Gx)`` access stream of every ladder method through the
+    attributed cache simulator at each requested line geometry, classifying
+    every extension-entry ``x`` access as free ride vs new fill against the
+    baseline FSAI pattern, and confronts the measured fill traffic with the
+    perfmodel's ``x``-read memory term.  Prints the conformance table with
+    the paper's gated cache claims (free-ride majority, larger lines ⇒
+    larger gains, misses-per-nnz not worse than FSAI); ``--json`` saves the
+    versioned ``repro-cache-conformance`` document, ``--prom`` the
+    OpenMetrics exposition including reuse-distance histograms.  Exit code
+    1 when a gated claim fails.
+    """
+    from repro.cachesim import CacheConfig, precond_x_misses_per_rank
+    from repro.core.fsai import fsai_pattern
+    from repro.observe import (
+        CacheConformance,
+        FreeRideLedger,
+        cache_conformance_samples,
+        ledger_samples,
+    )
+    from repro.observe.prom import write_openmetrics
+
+    mat, part, _, _ = _setup(args)
+    machine = MACHINES[args.machine]
+    methods = [m.strip() for m in args.ladder.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in _BUILDERS]
+    if unknown:
+        raise ReproError(
+            f"--ladder expects methods from {sorted(_BUILDERS)}, got {unknown}"
+        )
+    try:
+        line_sizes = [int(s) for s in args.line_bytes.split(",")]
+    except ValueError:
+        raise ReproError(
+            f"--line-bytes expects comma-separated byte counts, "
+            f"got {args.line_bytes!r}"
+        ) from None
+    report = CacheConformance(
+        meta={
+            "case": args.generate or args.matrix,
+            "matrix": args.generate or args.matrix,
+            "ranks": args.ranks,
+            "machine": args.machine,
+            "threads": args.threads,
+            "filter": args.filter,
+            "line_sizes": line_sizes,
+        }
+    )
+    model = CostModel(machine, threads_per_process=args.threads)
+    ledgers: list = []
+    for lb in line_sizes:
+        options = PrecondOptions(
+            line_bytes=lb,
+            filter=FilterSpec(args.filter, dynamic=not args.static),
+        )
+        base_pattern = fsai_pattern(mat, options.fsai)
+        base_g = base_pattern.to_csr()
+        base_gt = base_pattern.transpose().to_csr()
+        config = CacheConfig(
+            machine.l1.size_bytes, lb, machine.l1.associativity
+        ).scaled(args.threads)
+        for method in methods:
+            pre = _BUILDERS[method](mat, part, options)
+            ledger = FreeRideLedger(
+                method=pre.name, line_bytes=lb, base_g=base_g, base_gt=base_gt,
+                meta={"case": args.generate or args.matrix, "ranks": args.ranks},
+            )
+            precond_x_misses_per_rank(pre.g, pre.gt, config, ledger=ledger)
+            report.add_ledger(
+                ledger,
+                modeled_x_bytes=float(model.precond_x_read_bytes(pre).sum()),
+            )
+            ledgers.append(ledger)
+    print(report.render())
+    if args.json:
+        print(f"\ncache conformance written: {report.save(args.json)}")
+    if args.prom:
+        samples = cache_conformance_samples(report)
+        for ledger in ledgers:
+            samples += ledger_samples(ledger)
+        print(f"openmetrics              : {write_openmetrics(args.prom, samples)}")
+    failed = [c for c in report.claims() if not c["ok"]]
+    return 1 if failed else 0
 
 
 def cmd_bench(args) -> int:
@@ -651,6 +764,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_expl, with_solver=True)
     p_expl.add_argument("--json", help="write the attribution verdict to this path")
     p_expl.set_defaults(fn=cmd_explain)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="per-line free-ride ledgers and cache-conformance verdicts "
+             "over a method ladder at one or more line geometries",
+    )
+    add_common(p_cache, with_solver=True)
+    p_cache.add_argument(
+        "--ladder", default="fsai,fsaie,comm",
+        help="comma-separated method ladder to profile",
+    )
+    p_cache.add_argument(
+        "--line-bytes", default="64,256",
+        help="comma-separated cache-line geometries to replay at",
+    )
+    p_cache.add_argument("--json", help="write the cache-conformance document here")
+    p_cache.add_argument("--prom", help="write OpenMetrics text exposition here")
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_rep = sub.add_parser(
         "report", help="render or compare unified run reports (JSON)"

@@ -38,7 +38,13 @@ turns them into artifacts that answer the paper's questions directly:
   :class:`ConformanceReport` compares :mod:`repro.perfmodel` predictions
   against streamed measurements per phase and rank count, detects
   straggler ranks via robust z-scores, and feeds named suspects into
-  :func:`attribute`.
+  :func:`attribute`;
+* :mod:`repro.observe.memtraffic` — per-cache-line memory-traffic
+  attribution: :class:`FreeRideLedger` classifies every extension-entry
+  ``x`` access of the replayed ``Gᵀ(Gx)`` stream as free ride vs new fill
+  with reuse-distance histograms, and :class:`CacheConformance` gates the
+  paper's cache claims (free-ride majority, larger lines ⇒ larger gains,
+  misses-per-nnz not worse than FSAI) against the perfmodel memory term.
 
 Import layering: this package sits *above* :mod:`repro.instrument` and
 *below* nothing — it must never import :mod:`repro.core` (solvers emit plain
@@ -46,6 +52,20 @@ tracer events; observe only reads them back), so the core package stays
 importable without the observability layer and no cycle can form.
 """
 
+from repro.observe.memtraffic import (
+    CACHE_CONFORMANCE_FORMAT,
+    CACHE_CONFORMANCE_VERSION,
+    CATEGORIES,
+    MEMTRAFFIC_FORMAT,
+    MEMTRAFFIC_VERSION,
+    CacheConformance,
+    FreeRideLedger,
+    MemTrafficError,
+    MethodCacheProfile,
+    RankLedger,
+    cache_conformance_samples,
+    ledger_samples,
+)
 from repro.observe.conformance import (
     CONFORMANCE_FORMAT,
     CONFORMANCE_VERSION,
@@ -187,4 +207,16 @@ __all__ = [
     "RankCountConformance",
     "ConformanceReport",
     "conformance_samples",
+    "MEMTRAFFIC_FORMAT",
+    "MEMTRAFFIC_VERSION",
+    "CACHE_CONFORMANCE_FORMAT",
+    "CACHE_CONFORMANCE_VERSION",
+    "CATEGORIES",
+    "MemTrafficError",
+    "RankLedger",
+    "FreeRideLedger",
+    "MethodCacheProfile",
+    "CacheConformance",
+    "ledger_samples",
+    "cache_conformance_samples",
 ]

@@ -328,6 +328,7 @@ def attribute(
     model_tolerance: float = 0.5,
     imbalance_band: float = 0.05,
     conformance=None,
+    ledgers=None,
 ) -> AttributionVerdict:
     """Judge a set of per-method facts and name suspects for divergences.
 
@@ -353,6 +354,15 @@ def attribute(
     per-phase model under/over-prediction at each rank count, straggler
     ranks — are appended to the suspect list, so one ``repro explain``
     surface covers both per-solve facts and at-scale model conformance.
+
+    ``ledgers`` optionally maps method name →
+    :class:`repro.observe.memtraffic.FreeRideLedger` (duck-typed: anything
+    with ``ext_accesses`` / ``free_rides`` / ``free_ride_fraction`` /
+    ``line_bytes``).  With a ledger present, ``cache-reuse-not-realized``
+    is judged on — and cites — actual line-level evidence: it fires when
+    extension accesses were *not* majority free rides, and the miss-growth
+    rule's detail quotes the ledger's counts instead of aggregate misses
+    alone.
     """
     verdict = AttributionVerdict(
         facts=list(facts), baseline=baseline, meta=dict(meta or {})
@@ -411,18 +421,42 @@ def attribute(
                         f"reduction ({f.iterations} vs {base.iterations})",
                     )
                 )
-            if (
+            ledger = (ledgers or {}).get(f.method)
+            ledger_evidence = ""
+            if ledger is not None and ledger.ext_accesses:
+                ledger_evidence = (
+                    f"; ledger: {ledger.free_rides}/{ledger.ext_accesses} "
+                    f"extension x-accesses were free rides "
+                    f"({ledger.free_ride_fraction:.1%}) at "
+                    f"{ledger.line_bytes} B lines"
+                )
+            miss_growth = (
                 f.misses_total is not None
                 and base.misses_total is not None
                 and base.misses_total > 0
                 and f.misses_total > 1.10 * base.misses_total
-            ):
+            )
+            ride_minority = (
+                ledger is not None
+                and ledger.ext_accesses > 0
+                and ledger.free_ride_fraction < 0.5
+            )
+            if miss_growth:
                 verdict.suspects.append(
                     Suspect(
                         "cache-reuse-not-realized", f.method,
                         f"preconditioner misses grew {f.misses_total:.0f} vs "
                         f"baseline {base.misses_total:.0f} (>10%) — extension "
-                        "entries are not riding already-touched cache lines",
+                        "entries are not riding already-touched cache lines"
+                        + ledger_evidence,
+                    )
+                )
+            elif ride_minority:
+                verdict.suspects.append(
+                    Suspect(
+                        "cache-reuse-not-realized", f.method,
+                        "most extension x-accesses newly filled cache lines"
+                        + ledger_evidence,
                     )
                 )
     if conformance is not None:

@@ -339,6 +339,30 @@ class RunReport:
         return report
 
     @classmethod
+    def from_cache_bench(cls, doc: dict, *, label: str = "cache-bench") -> "RunReport":
+        """Build from a cache free-ride benchmark document
+        (``BENCH_cache.json``, see :mod:`benchmarks.cache_bench`): per-grid,
+        per-method, per-line-geometry miss counts, free-ride fractions and
+        claim flags become ``cache.*`` metrics gated by
+        ``check_bench_regression.py --cache``."""
+        if "summary" not in doc or "cache" not in doc:
+            raise ReportError(
+                "not a cache benchmark document (needs 'summary' and 'cache')"
+            )
+        report = cls(
+            meta={
+                "label": label,
+                "source": "cache-bench",
+                "config": doc.get("config", {}),
+            }
+        )
+        report.sections["cache"] = dict(doc["cache"])
+        for key, value in doc["summary"].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"cache.{key}"] = float(value)
+        return report
+
+    @classmethod
     def from_dict(cls, doc: dict) -> "RunReport":
         """Validate and load the saved document form."""
         if not isinstance(doc, dict):
@@ -401,6 +425,8 @@ class RunReport:
             return cls.from_scaling_bench(doc, label=path.stem)
         if "summary" in doc and "conformance" in doc:
             return cls.from_conformance_bench(doc, label=path.stem)
+        if "summary" in doc and "cache" in doc:
+            return cls.from_cache_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
         if fmt == "repro-chaos-report":

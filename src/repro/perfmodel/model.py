@@ -210,6 +210,19 @@ class CostModel:
         )
         return predicted_phases(cost, iterations)
 
+    def precond_x_read_bytes(self, precond: Preconditioner) -> np.ndarray:
+        """Per-rank modeled ``x``-read stream bytes of one ``Gᵀ(Gx)``.
+
+        The multiplying-vector share of the memory term in
+        :meth:`iteration_cost` — one full ``x`` read per SpMV, two SpMVs —
+        directly comparable against the cachesim fill traffic
+        (misses × line size) in
+        :class:`repro.observe.memtraffic.CacheConformance`: conforming
+        cache behaviour keeps measured fills at or below this stream.
+        """
+        sizes = precond.g.partition.sizes().astype(np.float64)
+        return sizes * 2 * _BYTES_PER_VALUE
+
     def precond_gflops_per_rank(
         self,
         precond: Preconditioner,

@@ -136,29 +136,40 @@ class TestSpMVTrace:
         mat = CSRMatrix.from_coo((1, n), np.zeros(600, dtype=int), cols, np.ones(600))
         assert spmv_x_misses(mat, L1_A64FX) <= spmv_x_misses(mat, L1_SKYLAKE)
 
-    def test_extension_in_touched_lines_adds_no_misses(self):
-        """The paper's core cache claim at kernel level: adding entries whose
-        x operands share already-touched lines leaves misses unchanged."""
+    @pytest.mark.parametrize(
+        "config", [L1_SKYLAKE, L1_A64FX], ids=["64B", "256B"]
+    )
+    def test_extension_in_touched_lines_adds_no_misses(self, config):
+        """The paper's core cache claim at kernel level (Figures 3a/5a):
+        adding entries whose x operands share already-touched lines leaves
+        misses unchanged — at the 64 B Skylake/Zen 2 geometry and the 256 B
+        A64FX geometry alike."""
         rng = np.random.default_rng(1)
-        n = 2048
-        base_cols = np.sort(rng.choice(np.arange(0, n, 8), 100, replace=False))
+        n = 4096
+        dpl = config.line_bytes // 8
+        base_cols = np.sort(
+            rng.choice(np.arange(0, n, dpl), 100, replace=False)
+        )
         base = CSRMatrix.from_coo(
             (1, n), np.zeros(100, dtype=int), base_cols, np.ones(100)
         )
-        # extend every entry with its full 8-double line
-        ext_cols = np.unique((base_cols // 8)[:, None] * 8 + np.arange(8))
+        # extend every entry with its full line of doubles
+        ext_cols = np.unique((base_cols // dpl)[:, None] * dpl + np.arange(dpl))
         ext = CSRMatrix.from_coo(
             (1, n), np.zeros(ext_cols.size, dtype=int), ext_cols, np.ones(ext_cols.size)
         )
-        assert spmv_x_misses(ext, L1_SKYLAKE) == spmv_x_misses(base, L1_SKYLAKE)
+        assert spmv_x_misses(ext, config) == spmv_x_misses(base, config)
         assert ext.nnz > base.nnz
 
-    def test_precond_misses_per_rank(self, poisson16):
+    @pytest.mark.parametrize(
+        "config", [L1_SKYLAKE, L1_A64FX], ids=["64B", "256B"]
+    )
+    def test_precond_misses_per_rank(self, poisson16, config):
         from repro.cachesim import precond_x_misses_per_rank
         from repro.core import build_fsai
 
         part = RowPartition.from_matrix(poisson16, 2, seed=0)
         pre = build_fsai(poisson16, part)
-        misses = precond_x_misses_per_rank(pre.g, pre.gt, L1_SKYLAKE)
+        misses = precond_x_misses_per_rank(pre.g, pre.gt, config)
         assert misses.shape == (2,)
         assert np.all(misses > 0)
