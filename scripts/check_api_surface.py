@@ -38,6 +38,7 @@ DOC_COVERAGE = (
     "repro.backend",
     "repro.resilience",
     "repro.cachesim",
+    "repro.serve",
 )
 
 

@@ -56,6 +56,21 @@ only with ``--check-timings`` (the dedicated drift gate is
 ``scripts/check_model_conformance.py``); straggler counts and wall seconds
 are never gated.
 
+The solve-farm serving suite (``BENCH_serve.json``, see
+:mod:`benchmarks.serve_bench`) is gated via ``--serve`` against
+``benchmarks/baselines/serve_baseline.json``: admission verdicts, cache
+hit/miss counts, audit counts and the invariance/convergence flags are
+deterministic (admission is lock-serialised and the warm phase is
+pre-warmed to an exact hit pattern) and gate exactly; hit rates and shed
+fractions gate within float round-off; total iteration counts get the
+small absolute allowance when configs match; throughputs and latency
+percentiles are machine-dependent (``--check-timings`` only); wall
+seconds are never gated.  The warm-over-cold throughput speedup is the
+one timing gated on every serve run, against the absolute
+:data:`SERVE_SPEEDUP_FLOOR` rather than the baseline — serving from the
+warm artifact cache skips the entire setup pipeline, an algorithmic win
+that holds on any machine.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py            # quick run
@@ -64,6 +79,7 @@ Usage::
     PYTHONPATH=src python scripts/check_bench_regression.py --scaling --bench BENCH_scaling.json
     PYTHONPATH=src python scripts/check_bench_regression.py --conformance --bench BENCH_conformance.json
     PYTHONPATH=src python scripts/check_bench_regression.py --cache --bench BENCH_cache.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --serve --bench BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -116,6 +132,51 @@ SCALING_BASELINE = BASELINE.parent / "scaling_baseline.json"
 CONFORMANCE_BASELINE = BASELINE.parent / "conformance_baseline.json"
 
 CACHE_BASELINE = BASELINE.parent / "cache_baseline.json"
+
+SERVE_BASELINE = BASELINE.parent / "serve_baseline.json"
+
+#: Absolute floor for the warm-over-cold serving throughput speedup, gated
+#: on every serve run (not just --check-timings): a warm-cache solve skips
+#: fingerprint-keyed setup entirely (partition, FSAI factorisation, halo
+#: schedule, plan build), so any machine clears this with a wide margin.
+SERVE_SPEEDUP_FLOOR = 3.0
+
+
+def serve_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
+    """Per-metric tolerances for the solve-farm serving suite
+    (``BENCH_serve.json``, see :mod:`benchmarks.serve_bench`).
+
+    Admission counts, cache hit/miss/build counters, audit counts and the
+    invariance/convergence flags are deterministic (the admission phase is
+    a synchronous replay of a fixed request pattern; the warm phase is
+    pre-warmed so every timed request hits the structure tier) and gate
+    exactly.  Hit rates and shed fractions are exact ratios of those
+    counts (float round-off band only).  Total PCG iterations depend on
+    the benchmarked grid (config-gated, small absolute allowance).
+    Throughputs and latency percentiles are machine-dependent and gate
+    only with ``--check-timings``; the warm-over-cold speedup is instead
+    held to the absolute :data:`SERVE_SPEEDUP_FLOOR` on every run, and
+    wall seconds are never gated.
+    """
+    tolerances = {}
+    for name in baseline.metrics:
+        if name.endswith(
+            (".admitted", ".shed", ".shed_queue_full", ".shed_tenant_budget",
+             ".shed_unknown", ".solves", ".structure_builds", ".cache_hits",
+             ".cache_misses", ".structure_hits", ".structure_misses",
+             ".system_hits", ".system_misses", ".audits", ".audit_violations",
+             ".schedule_invariant", ".converged")
+        ):
+            tolerances[name] = {"rel": 0.0, "abs": 0.0}
+        elif name.endswith((".hit_rate", ".shed_fraction")):
+            tolerances[name] = {"rel": 1e-9}
+        elif name.endswith(".iterations_total") and config_matches:
+            tolerances[name] = {"rel": 0.0, "abs": 2.0}
+        elif name.endswith(
+            (".throughput_rps", ".p50_ms", ".p95_ms", ".p99_ms")
+        ) and check_timings:
+            tolerances[name] = {"rel": 0.9}
+    return tolerances
 
 
 def cache_tolerances(baseline, *, config_matches: bool, check_timings: bool) -> dict:
@@ -251,6 +312,12 @@ def main(argv=None) -> int:
         "instead of kernels",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="gate the solve-farm serving suite (BENCH_serve.json) "
+        "instead of kernels",
+    )
+    parser.add_argument(
         "--check-timings",
         action="store_true",
         help="also gate speedup ratios / modeled times (not for CI by default)",
@@ -267,7 +334,9 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         source = fresh.meta.get("source")
-        if args.cache or source == "cache-bench":
+        if args.serve or source == "serve-bench":
+            kind = "serve"
+        elif args.cache or source == "cache-bench":
             kind = "cache"
         elif args.conformance or source == "conformance-bench":
             kind = "conformance"
@@ -277,6 +346,14 @@ def main(argv=None) -> int:
             kind = "solver"
         else:
             kind = "kernels"
+    elif args.serve:
+        kind = "serve"
+        sys.path.insert(0, benchdir)
+        from serve_bench import run_serve_suite
+
+        fresh = RunReport.from_serve_bench(
+            run_serve_suite(quick=True), label="fresh"
+        )
     elif args.cache:
         kind = "cache"
         sys.path.insert(0, benchdir)
@@ -322,6 +399,7 @@ def main(argv=None) -> int:
         "scaling": SCALING_BASELINE,
         "conformance": CONFORMANCE_BASELINE,
         "cache": CACHE_BASELINE,
+        "serve": SERVE_BASELINE,
     }[kind]
     try:
         baseline = RunReport.load(args.baseline or default_baseline)
@@ -330,9 +408,9 @@ def main(argv=None) -> int:
         return 2
 
     config_matches = fresh.meta.get("config") == baseline.meta.get("config")
-    if kind in ("solver", "scaling", "conformance", "cache"):
-        # quick runs cover a subset (matrices / scales); compare only on
-        # shared metrics
+    if kind in ("solver", "scaling", "conformance", "cache", "serve"):
+        # quick runs cover a subset (matrices / scales / rungs); compare
+        # only on shared metrics
         config_matches = config_matches or set(fresh.metrics) <= set(
             baseline.metrics
         )
@@ -341,6 +419,7 @@ def main(argv=None) -> int:
             "scaling": scaling_tolerances,
             "conformance": conformance_tolerances,
             "cache": cache_tolerances,
+            "serve": serve_tolerances,
         }[kind]
         tolerances = tolerance_fn(
             baseline,
@@ -369,6 +448,31 @@ def main(argv=None) -> int:
             "FAIL: benchmark counters regressed beyond the recorded baseline",
             file=sys.stderr,
         )
+    if kind == "serve":
+        speedups = {
+            name: value
+            for name, value in sorted(fresh.metrics.items())
+            if name.endswith(".warm_cold_speedup")
+        }
+        if not speedups:
+            print(
+                "FAIL: fresh serve run has no *.warm_cold_speedup metrics",
+                file=sys.stderr,
+            )
+            failed = True
+        for name, speedup in speedups.items():
+            if speedup < SERVE_SPEEDUP_FLOOR:
+                print(
+                    f"FAIL: {name} {speedup:.2f}x is below the "
+                    f"{SERVE_SPEEDUP_FLOOR}x warm-cache floor",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"serve floor: {name} {speedup:.2f}x >= "
+                    f"{SERVE_SPEEDUP_FLOOR}x"
+                )
     if kind == "kernels":
         speedup = fresh.metrics.get("bench.setup_batched_speedup")
         if speedup is None:

@@ -20,7 +20,8 @@ construction it computes, once per matrix:
   FSAI factors), a zero-padded ELLPACK layout stored slot-major, so the
   per-row reduction is a handful of long contiguous vector adds instead of
   ``reduceat``'s per-segment dispatch,
-* reusable scratch buffers sized ``nnz`` (or the padded ELL size).
+* the scratch-buffer sizes (``nnz``, or the padded ELL shape) — the buffers
+  themselves are materialised lazily, once per applying thread.
 
 After construction, :meth:`spmv` / :meth:`spmv_t` perform **zero array
 allocations** when an ``out=`` vector is supplied: the gather runs through
@@ -37,8 +38,13 @@ narrow matrices.  The ELL padding multiplies ``0.0`` against ``x[0]``, so it
 assumes finite input vectors (as every iterative solver here does).
 
 Plans snapshot the matrix structure and values at construction; the matrix
-must not be mutated afterwards.  A plan's scratch buffers make it **not
-thread-safe** — share a plan only within one thread.
+must not be mutated afterwards.  Scratch buffers are **thread-local**: a
+plan may be applied concurrently from many threads (the solve farm runs
+concurrent solves through the plans cached on a shared
+:class:`~repro.dist.DistMatrix`), each thread lazily allocating its own
+scratch on first use and running allocation-free thereafter.  The
+``calls``/``calls_t`` counters are plain integers and may undercount under
+concurrency — they are instrumentation, not accounting.
 
 Plans are backend-aware: pass ``backend=`` (a name or
 :class:`repro.backend.ArrayBackend`) and every kernel array — gather
@@ -52,6 +58,8 @@ wide-row matrix on such a backend raises
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -110,6 +118,23 @@ def _ell_apply(xp, x, idx, vals, scratch, out):
     return out
 
 
+class _PlanScratch:
+    """One thread's scratch buffers for one plan (lazily built per thread)."""
+
+    __slots__ = ("ell_x", "prod", "seg", "t_ell_x", "t_prod", "t_seg")
+
+    def __init__(self, xp, spec):
+        ell_shape, prod_size, seg_size, t_ell_shape, t_prod_size, t_seg_size = spec
+        self.ell_x = xp.empty(ell_shape, dtype=np.float64) if ell_shape else None
+        self.prod = xp.empty(prod_size, dtype=np.float64) if prod_size else None
+        self.seg = xp.empty(seg_size, dtype=np.float64) if seg_size else None
+        self.t_ell_x = (
+            xp.empty(t_ell_shape, dtype=np.float64) if t_ell_shape else None
+        )
+        self.t_prod = xp.empty(t_prod_size, dtype=np.float64) if t_prod_size else None
+        self.t_seg = xp.empty(t_seg_size, dtype=np.float64) if t_seg_size else None
+
+
 def _check_out(out, n: int, label: str, backend: ArrayBackend) -> None:
     """Validate a user-supplied output vector (backend, shape and dtype)."""
     if not backend.is_native(out):
@@ -149,11 +174,12 @@ class SpMVPlan:
     __slots__ = (
         "mat", "nrows", "ncols", "nnz", "backend", "_xp",
         "_a_indices", "_a_data",
-        "_starts", "_row_ids", "_all_rows_nonempty", "_prod", "_seg",
-        "_ell_idx", "_ell_vals", "_ell_x",
+        "_starts", "_row_ids", "_all_rows_nonempty",
+        "_ell_idx", "_ell_vals",
         "_t_rows", "_t_data", "_t_starts", "_t_col_ids",
-        "_all_cols_nonempty", "_t_prod", "_t_seg",
-        "_t_ell_idx", "_t_ell_vals", "_t_ell_x",
+        "_all_cols_nonempty",
+        "_t_ell_idx", "_t_ell_vals",
+        "_scratch_spec", "_tls",
         "calls", "calls_t",
     )
 
@@ -167,13 +193,18 @@ class SpMVPlan:
         self.calls = 0
         self.calls_t = 0
 
+        # scratch sizes are recorded here and materialised per thread on
+        # first use (see _scratch) — None means the path never needs one
+        ell_shape = prod_size = seg_size = None
+        t_ell_shape = t_prod_size = t_seg_size = None
+
         widths = np.diff(mat.indptr)
         ell = _build_ell(widths, mat.indices, mat.data)
         if ell is not None:
             idx, vals, scratch = ell
             self._ell_idx, self._ell_vals = dev(idx), dev(vals)
-            self._ell_x = xp.empty(scratch.shape, dtype=np.float64)
-            self._starts = self._row_ids = self._seg = self._prod = None
+            ell_shape = scratch.shape
+            self._starts = self._row_ids = None
             self._a_indices = self._a_data = None
             self._all_rows_nonempty = True
         elif not self.backend.supports_reduceat and self.nnz:
@@ -183,7 +214,7 @@ class SpMVPlan:
                 "wide with modest padding) — see docs/BACKENDS.md"
             )
         else:
-            self._ell_idx = self._ell_vals = self._ell_x = None
+            self._ell_idx = self._ell_vals = None
             self._a_indices = dev(mat.indices)
             self._a_data = dev(mat.data)
             # forward plan: reduceat starts over nonempty rows
@@ -193,13 +224,12 @@ class SpMVPlan:
             if self._all_rows_nonempty:
                 self._starts = dev(np.ascontiguousarray(starts))
                 self._row_ids = None
-                self._seg = None
             else:
                 row_ids = np.flatnonzero(nonempty)
                 self._row_ids = dev(row_ids)
                 self._starts = dev(np.ascontiguousarray(starts[row_ids]))
-                self._seg = xp.empty(row_ids.size, dtype=np.float64)
-            self._prod = xp.empty(self.nnz, dtype=np.float64)
+                seg_size = row_ids.size
+            prod_size = self.nnz
 
         # transpose plan: CSC gather (stable sort keeps determinism and,
         # within a column, ascending source rows)
@@ -213,42 +243,58 @@ class SpMVPlan:
         if t_ell is not None:
             idx, vals, scratch = t_ell
             self._t_ell_idx, self._t_ell_vals = dev(idx), dev(vals)
-            self._t_ell_x = xp.empty(scratch.shape, dtype=np.float64)
+            t_ell_shape = scratch.shape
             self._t_rows = self._t_data = None
-            self._t_starts = self._t_col_ids = self._t_seg = self._t_prod = None
+            self._t_starts = self._t_col_ids = None
             self._all_cols_nonempty = True
-            return
-        if not self.backend.supports_reduceat and self.nnz:
-            raise BackendError(
-                f"backend {self.backend.name!r} has no ufunc.reduceat; the "
-                "transpose SpMV plan needs the ELLPACK layout — see "
-                "docs/BACKENDS.md"
-            )
-        self._t_ell_idx = self._t_ell_vals = self._t_ell_x = None
-        self._t_rows = dev(t_rows)
-        self._t_data = dev(t_data)
-        t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
-        np.cumsum(col_counts, out=t_indptr[1:])
-        t_starts = t_indptr[:-1]
-        col_nonempty = t_indptr[1:] > t_starts
-        self._all_cols_nonempty = bool(col_nonempty.all()) if self.ncols else True
-        if self._all_cols_nonempty:
-            self._t_starts = dev(np.ascontiguousarray(t_starts))
-            self._t_col_ids = None
-            self._t_seg = None
         else:
-            t_col_ids = np.flatnonzero(col_nonempty)
-            self._t_col_ids = dev(t_col_ids)
-            self._t_starts = dev(np.ascontiguousarray(t_starts[t_col_ids]))
-            self._t_seg = xp.empty(t_col_ids.size, dtype=np.float64)
-        self._t_prod = xp.empty(self.nnz, dtype=np.float64)
+            if not self.backend.supports_reduceat and self.nnz:
+                raise BackendError(
+                    f"backend {self.backend.name!r} has no ufunc.reduceat; the "
+                    "transpose SpMV plan needs the ELLPACK layout — see "
+                    "docs/BACKENDS.md"
+                )
+            self._t_ell_idx = self._t_ell_vals = None
+            self._t_rows = dev(t_rows)
+            self._t_data = dev(t_data)
+            t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
+            np.cumsum(col_counts, out=t_indptr[1:])
+            t_starts = t_indptr[:-1]
+            col_nonempty = t_indptr[1:] > t_starts
+            self._all_cols_nonempty = bool(col_nonempty.all()) if self.ncols else True
+            if self._all_cols_nonempty:
+                self._t_starts = dev(np.ascontiguousarray(t_starts))
+                self._t_col_ids = None
+            else:
+                t_col_ids = np.flatnonzero(col_nonempty)
+                self._t_col_ids = dev(t_col_ids)
+                self._t_starts = dev(np.ascontiguousarray(t_starts[t_col_ids]))
+                t_seg_size = t_col_ids.size
+            t_prod_size = self.nnz
+
+        self._scratch_spec = (
+            ell_shape, prod_size, seg_size, t_ell_shape, t_prod_size, t_seg_size,
+        )
+        self._tls = threading.local()
 
     # ------------------------------------------------------------------
+    def _scratch(self) -> _PlanScratch:
+        """This thread's scratch buffers, built on first use.
+
+        Per-thread scratch is what makes concurrent application safe: two
+        threads running :meth:`spmv` through the same plan gather into
+        disjoint buffers instead of racing on shared ones.
+        """
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None:
+            bufs = self._tls.bufs = _PlanScratch(self._xp, self._scratch_spec)
+        return bufs
+
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``y = A @ x`` through the plan; allocation-free when ``out`` is given.
 
         ``out`` may alias ``x``: the gathered products are materialised in the
-        plan's scratch buffer before ``out`` is written.
+        thread's scratch buffer before ``out`` is written.
         """
         xp = self._xp
         if x.shape != (self.ncols,):
@@ -261,18 +307,19 @@ class SpMVPlan:
         if self.nnz == 0:
             out.fill(0.0)
             return out
+        scratch = self._scratch()
         if self._ell_idx is not None:
-            return _ell_apply(xp, x, self._ell_idx, self._ell_vals, self._ell_x, out)
+            return _ell_apply(xp, x, self._ell_idx, self._ell_vals, scratch.ell_x, out)
         # indices are validated at matrix construction; mode="clip" skips the
         # redundant per-call bounds check
-        xp.take(x, self._a_indices, out=self._prod, mode="clip")
-        xp.multiply(self._prod, self._a_data, out=self._prod)
+        xp.take(x, self._a_indices, out=scratch.prod, mode="clip")
+        xp.multiply(scratch.prod, self._a_data, out=scratch.prod)
         if self._all_rows_nonempty:
-            xp.add.reduceat(self._prod, self._starts, out=out)
+            xp.add.reduceat(scratch.prod, self._starts, out=out)
         else:
-            xp.add.reduceat(self._prod, self._starts, out=self._seg)
+            xp.add.reduceat(scratch.prod, self._starts, out=scratch.seg)
             out.fill(0.0)
-            out[self._row_ids] = self._seg
+            out[self._row_ids] = scratch.seg
         return out
 
     def spmv_t(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
@@ -291,18 +338,19 @@ class SpMVPlan:
         if self.nnz == 0:
             out.fill(0.0)
             return out
+        scratch = self._scratch()
         if self._t_ell_idx is not None:
             return _ell_apply(
-                xp, x, self._t_ell_idx, self._t_ell_vals, self._t_ell_x, out
+                xp, x, self._t_ell_idx, self._t_ell_vals, scratch.t_ell_x, out
             )
-        xp.take(x, self._t_rows, out=self._t_prod, mode="clip")
-        xp.multiply(self._t_prod, self._t_data, out=self._t_prod)
+        xp.take(x, self._t_rows, out=scratch.t_prod, mode="clip")
+        xp.multiply(scratch.t_prod, self._t_data, out=scratch.t_prod)
         if self._all_cols_nonempty:
-            xp.add.reduceat(self._t_prod, self._t_starts, out=out)
+            xp.add.reduceat(scratch.t_prod, self._t_starts, out=out)
         else:
-            xp.add.reduceat(self._t_prod, self._t_starts, out=self._t_seg)
+            xp.add.reduceat(scratch.t_prod, self._t_starts, out=scratch.t_seg)
             out.fill(0.0)
-            out[self._t_col_ids] = self._t_seg
+            out[self._t_col_ids] = scratch.t_seg
         return out
 
     def __repr__(self) -> str:

@@ -49,6 +49,11 @@ __all__ = [
 REPORT_FORMAT = "repro-run-report"
 REPORT_VERSION = 2
 
+#: The solve-farm report format (:class:`repro.serve.report.ServeReport`).
+#: Duplicated literal, not an import — observe must stay below serve in the
+#: layering (same contract as the flight-recorder format string).
+_SERVE_REPORT_FORMAT = "repro-serve-report"
+
 #: Older schema versions this build still reads.  v2 added the optional
 #: ``timeline`` and ``attribution`` sections (plus ``timeline.*`` metrics);
 #: v1 documents simply lack them, so they load unchanged.
@@ -363,6 +368,78 @@ class RunReport:
         return report
 
     @classmethod
+    def from_serve_bench(cls, doc: dict, *, label: str = "serve-bench") -> "RunReport":
+        """Build from a solve-farm benchmark document (``BENCH_serve.json``,
+        see :mod:`benchmarks.serve_bench`): per-rung throughput, latency
+        percentiles, cache hit rates, shed fractions and invariance flags
+        become ``serve.*`` metrics gated by ``check_bench_regression.py
+        --serve``."""
+        if "summary" not in doc or "serve" not in doc:
+            raise ReportError(
+                "not a serve benchmark document (needs 'summary' and 'serve')"
+            )
+        report = cls(
+            meta={
+                "label": label,
+                "source": "serve-bench",
+                "config": doc.get("config", {}),
+            }
+        )
+        report.sections["serve"] = dict(doc["serve"])
+        for key, value in doc["summary"].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"serve.{key}"] = float(value)
+        return report
+
+    @classmethod
+    def from_serve_report(cls, doc: dict, *, label: str = "serve") -> "RunReport":
+        """Build from a versioned ``repro-serve-report`` document (see
+        :class:`repro.serve.report.ServeReport`; the format string is
+        duplicated here because the observe layer must not import
+        :mod:`repro.serve`).  Admission, per-tenant and cache accounting
+        become comparable ``serve.*`` metrics."""
+        if doc.get("format") != _SERVE_REPORT_FORMAT:
+            raise ReportError(
+                f"not a serve report (format={doc.get('format')!r}, "
+                f"expected {_SERVE_REPORT_FORMAT!r})"
+            )
+        version = doc.get("version")
+        if version not in (1,):
+            raise ReportError(
+                f"unsupported serve-report schema version {version!r} "
+                "(this build reads version 1)"
+            )
+        farm = doc.get("farm", {})
+        if not isinstance(farm, dict):
+            raise ReportError("serve report field 'farm' must be an object")
+        meta = doc.get("meta", {}) if isinstance(doc.get("meta"), dict) else {}
+        report = cls(
+            meta={"label": meta.get("label", label), "source": "serve-report", **meta}
+        )
+        admission = farm.get("admission", {})
+        report.sections["serve"] = {
+            "config": farm.get("config", {}),
+            "admission": admission,
+            "caches": farm.get("caches", {}),
+            "counters": farm.get("counters", {}),
+        }
+        for key in ("admitted", "shed", "shed_fraction"):
+            if isinstance(admission.get(key), (int, float)):
+                report.metrics[f"serve.{key}"] = float(admission[key])
+        for name, tstats in admission.get("tenants", {}).items():
+            for key in ("admitted", "shed", "completed", "failed", "shed_fraction"):
+                if isinstance(tstats.get(key), (int, float)):
+                    report.metrics[f"serve.tenant.{name}.{key}"] = float(tstats[key])
+        for tier, cstats in farm.get("caches", {}).items():
+            for key in ("hits", "misses", "evictions", "hit_rate"):
+                if isinstance(cstats.get(key), (int, float)):
+                    report.metrics[f"serve.cache.{tier}.{key}"] = float(cstats[key])
+        for key, value in farm.get("counters", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.metrics[f"serve.{key}"] = float(value)
+        return report
+
+    @classmethod
     def from_dict(cls, doc: dict) -> "RunReport":
         """Validate and load the saved document form."""
         if not isinstance(doc, dict):
@@ -412,6 +489,11 @@ class RunReport:
                 return cls.from_dict(doc)
             except ReportError as exc:
                 raise ReportError(f"{path}: {exc}") from None
+        if fmt == _SERVE_REPORT_FORMAT:
+            try:
+                return cls.from_serve_report(doc, label=path.stem)
+            except ReportError as exc:
+                raise ReportError(f"{path}: {exc}") from None
         if fmt == "repro-trace":
             version = doc.get("version")
             if version is not None and version > 1:
@@ -427,6 +509,8 @@ class RunReport:
             return cls.from_conformance_bench(doc, label=path.stem)
         if "summary" in doc and "cache" in doc:
             return cls.from_cache_bench(doc, label=path.stem)
+        if "summary" in doc and "serve" in doc:
+            return cls.from_serve_bench(doc, label=path.stem)
         if "summary" in doc and ("suite" in doc or "spmv" in doc):
             return cls.from_bench(doc, label=path.stem)
         if fmt == "repro-chaos-report":

@@ -1,0 +1,273 @@
+"""Fingerprint-keyed artifact cache with LRU eviction under a byte bound.
+
+One :class:`ArtifactCache` instance holds one *tier* of reusable setup
+state; the farm runs two:
+
+* the **structure tier**, keyed by
+  :class:`~repro.serve.fingerprint.StructureFingerprint` — holds
+  :class:`SetupArtifacts` (partition, preconditioner, the halo-schedule
+  snapshot used to prove bit-identity on later hits);
+* the **system tier**, keyed by ``(structure digest, values digest)`` —
+  holds :class:`SystemArtifacts` (the distributed operator and a
+  :class:`WorkspacePool` of warm :class:`~repro.kernels.SolverWorkspace`
+  objects, so repeated solves of the bit-identical system run
+  allocation-free).
+
+Entries carry a byte estimate; inserting past ``max_bytes`` evicts least
+recently used entries (never the one just inserted).  Hits, misses,
+evictions and resident bytes are mirrored to the instrumentation registry
+as ``serve.cache.{hits,misses,evictions,bytes}`` counters/gauges tagged by
+tier, alongside the cache's own always-on counters — the numbers
+``BENCH_serve.json`` reports.  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.instrument import get_metrics
+
+__all__ = [
+    "ArtifactCache",
+    "SetupArtifacts",
+    "SystemArtifacts",
+    "WorkspacePool",
+    "estimate_dist_nbytes",
+    "estimate_precond_nbytes",
+]
+
+
+def estimate_dist_nbytes(dmat) -> int:
+    """Rough resident-byte estimate of a :class:`~repro.dist.DistMatrix`
+    (CSR arrays plus halo-schedule index lists)."""
+    total = 0
+    for lm in dmat.locals:
+        total += 8 * (lm.csr.indptr.size + lm.csr.indices.size + lm.csr.data.size)
+        total += 8 * lm.global_rows.size + 8 * lm.ext_cols.size
+    return total
+
+
+def estimate_precond_nbytes(pre) -> int:
+    """Rough resident-byte estimate of a
+    :class:`~repro.core.precond.Preconditioner` (both factors)."""
+    return estimate_dist_nbytes(pre.g) + estimate_dist_nbytes(pre.gt)
+
+
+class WorkspacePool:
+    """Checkout pool of :class:`~repro.kernels.SolverWorkspace` objects.
+
+    Workspaces hold scratch state and are not thread-safe; the pool hands
+    each concurrent solve its own, and returns finished workspaces to the
+    free list so later solves of the same system reuse the warm buffers
+    (zero hot-loop allocations, the PR-2 contract).
+    """
+
+    def __init__(self, factory):
+        self._factory = factory
+        self._free: list = []
+        self._lock = threading.Lock()
+        #: Workspaces ever created by this pool (monotonic).
+        self.created = 0
+
+    def acquire(self):
+        """A free workspace, or a freshly built one when none is idle."""
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+            self.created += 1
+        return self._factory()
+
+    def release(self, workspace) -> None:
+        """Return ``workspace`` to the free list."""
+        with self._lock:
+            self._free.append(workspace)
+
+    @property
+    def idle(self) -> int:
+        """Workspaces currently parked in the free list."""
+        with self._lock:
+            return len(self._free)
+
+    def __repr__(self) -> str:
+        return f"WorkspacePool(created={self.created}, idle={self.idle})"
+
+
+@dataclass
+class SetupArtifacts:
+    """Structure-tier cache entry: everything derived from the sparsity
+    structure plus setup options, reusable across matrices that share the
+    fingerprint.
+
+    ``schedule_snapshot`` is the static per-edge accounting of the
+    operator's halo schedule (see
+    :func:`repro.observe.audit.schedule_snapshot`), stored at build time so
+    later same-structure solves can *prove* their fresh schedule is
+    bit-identical instead of assuming it.
+    """
+
+    fingerprint: object
+    partition: object
+    preconditioner: object
+    schedule_snapshot: dict
+    nbytes: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SetupArtifacts({self.preconditioner.name}, "
+            f"ranks={self.partition.nparts}, nbytes={self.nbytes})"
+        )
+
+
+@dataclass
+class SystemArtifacts:
+    """System-tier cache entry: the distributed operator of one bitwise
+    matrix (structure *and* values) plus its workspace pool."""
+
+    values_digest: str
+    dist_a: object
+    workspaces: WorkspacePool
+    nbytes: int = 0
+
+    def __repr__(self) -> str:
+        return f"SystemArtifacts({self.values_digest[:12]}…, nbytes={self.nbytes})"
+
+
+@dataclass
+class _Entry:
+    payload: object
+    nbytes: int
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Always-on counters of one cache tier (independent of whether the
+    instrumentation registry is enabled)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    bytes: int = 0
+    evicted_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "bytes": self.bytes,
+            "evicted_bytes": self.evicted_bytes,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactCache:
+    """Thread-safe LRU cache of setup artifacts, bounded by bytes.
+
+    ``max_bytes=None`` means unbounded; ``max_bytes=0`` disables caching
+    entirely (every lookup misses, every insert is dropped) — the switch the
+    benchmark's cold phase uses to measure the no-reuse baseline.  Metrics
+    are double-booked: the returned :class:`CacheStats` always counts, and
+    when :mod:`repro.instrument` is enabled the same events land in
+    ``serve.cache.*`` instruments tagged ``tier=<name>``.
+    """
+
+    def __init__(self, max_bytes: int | None = None, *, name: str = "default"):
+        self.name = name
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+
+    def _metric(self, kind: str, amount: int = 1) -> None:
+        get_metrics().counter(f"serve.cache.{kind}", tier=self.name).inc(amount)
+
+    def get(self, key):
+        """The cached payload for ``key`` (refreshed to most-recently-used),
+        or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self._metric("misses")
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            self._metric("hits")
+            return entry.payload
+
+    def put(self, key, payload, nbytes: int) -> list:
+        """Insert ``payload`` under ``key``; returns the evicted payloads.
+
+        Inserting an existing key replaces the entry.  Eviction drops least
+        recently used entries until the byte bound holds again, but never
+        the entry just inserted — a single oversized artifact stays resident
+        (documented and tested) rather than thrashing.  With ``max_bytes=0``
+        the insert itself is dropped and the payload returned as "evicted".
+        """
+        nbytes = int(nbytes)
+        with self._lock:
+            if self.max_bytes == 0:
+                self.stats.evictions += 1
+                self.stats.evicted_bytes += nbytes
+                self._metric("evictions")
+                return [payload]
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.bytes -= old.nbytes
+            self._entries[key] = _Entry(payload, nbytes)
+            self.stats.inserts += 1
+            self.stats.bytes += nbytes
+            evicted = []
+            if self.max_bytes is not None:
+                while self.stats.bytes > self.max_bytes and len(self._entries) > 1:
+                    _, victim = self._entries.popitem(last=False)
+                    self.stats.bytes -= victim.nbytes
+                    self.stats.evictions += 1
+                    self.stats.evicted_bytes += victim.nbytes
+                    self._metric("evictions")
+                    evicted.append(victim.payload)
+            self.stats.entries = len(self._entries)
+            metrics = get_metrics()
+            metrics.gauge("serve.cache.bytes", tier=self.name).set(self.stats.bytes)
+            metrics.gauge("serve.cache.entries", tier=self.name).set(
+                self.stats.entries
+            )
+            return evicted
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list:
+        """Resident keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache({self.name!r}, entries={len(self)}, "
+            f"bytes={self.stats.bytes}, max_bytes={self.max_bytes})"
+        )

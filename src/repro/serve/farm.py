@@ -1,0 +1,575 @@
+"""The solve farm: an async front door over a pool of solver workers.
+
+A :class:`SolveFarm` accepts concurrent :class:`SolveRequest` objects
+(asyncio coroutine :meth:`SolveFarm.submit`, or the synchronous batch
+driver :meth:`SolveFarm.serve`), admits them through the
+:class:`~repro.serve.tenancy.AdmissionController`, and runs each admitted
+solve on a thread worker.  Workers host the same numerics as everything
+else in the repo — :func:`repro.core.cg.pcg` on a
+:class:`~repro.dist.DistMatrix` by default, or the full SPMD runtime
+(:func:`repro.dist.spmd.spmd_cg`, message passing via
+:func:`repro.mpisim.run_spmd`) when the request says ``engine="spmd"``.
+
+Request lifecycle (the diagram in ``docs/SERVING.md``):
+
+1. **admit** — bounded queue + per-tenant token budget; refusals return a
+   shed :class:`SolveOutcome` immediately.
+2. **structure tier** — fingerprint the matrix structure
+   (:func:`~repro.serve.fingerprint.fingerprint_structure`); on a miss,
+   build partition + preconditioner and cache them with the halo-schedule
+   snapshot; on a hit, reuse and *prove* the fresh operator's schedule is
+   byte-identical to the cached snapshot
+   (:func:`repro.observe.audit.compare_snapshots` — the §4 invariance
+   audit, now running on production traffic).
+3. **system tier** — key on (structure, values digest); on a hit the
+   distributed operator and a warm :class:`~repro.serve.cache.WorkspacePool`
+   are reused verbatim.
+4. **solve** — PCG under a read lock; chaos tenants instead take the
+   exclusive write lock and run under their
+   :class:`~repro.resilience.FaultPlan` (the injector hook is
+   process-wide, so faulty and clean solves must not overlap).
+5. **report** — latency into the tenant histogram, counters into
+   ``serve.*`` metrics, a :class:`SolveOutcome` back to the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cg import pcg
+from repro.core.precond import (
+    FilterSpec,
+    PrecondOptions,
+    build_fsai,
+    build_fsaie,
+    build_fsaie_comm,
+)
+from repro.dist.matrix import DistMatrix
+from repro.dist.partition_map import RowPartition
+from repro.dist.spmd import spmd_cg
+from repro.dist.vector import DistVector
+from repro.errors import ReproError
+from repro.instrument import get_metrics
+from repro.matgen.rhs import paper_rhs
+from repro.observe.audit import compare_snapshots, schedule_snapshot
+from repro.resilience import fault_injection
+from repro.serve.cache import (
+    ArtifactCache,
+    SetupArtifacts,
+    SystemArtifacts,
+    WorkspacePool,
+    estimate_dist_nbytes,
+    estimate_precond_nbytes,
+)
+from repro.serve.fingerprint import fingerprint_structure, values_digest
+from repro.serve.tenancy import AdmissionController
+
+__all__ = [
+    "SolveRequest",
+    "SolveOutcome",
+    "FarmConfig",
+    "SolveFarm",
+]
+
+_BUILDERS = {"fsai": build_fsai, "fsaie": build_fsaie, "comm": build_fsaie_comm}
+
+
+class _ReadWriteLock:
+    """Writer-preferring readers-writer lock.
+
+    Normal solves run concurrently under the read side; chaos solves take
+    the exclusive write side because the fault-injector hook
+    (:mod:`repro.mpisim.injection`) is process-wide — a plan installed for
+    one tenant must never bleed into another tenant's in-flight solve.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        """Block until no writer holds or awaits the lock, then enter."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        """Leave the read side."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        """Block until exclusive, then enter."""
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self):
+        """Leave the write side."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One tenant's solve: a CSR system plus solver knobs.
+
+    ``rhs=None`` uses the paper's deterministic right-hand side
+    (:func:`repro.matgen.rhs.paper_rhs`).  ``engine`` picks the worker
+    numerics: ``"bsp"`` runs :func:`repro.core.cg.pcg` on the distributed
+    operator; ``"spmd"`` routes through :func:`repro.dist.spmd.spmd_cg`
+    on real simulated message passing.  ``tag`` is an opaque label echoed
+    into the outcome (request tracing).
+    """
+
+    tenant: str
+    mat: object
+    rhs: object | None = None
+    rtol: float = 1e-8
+    max_iterations: int = 10_000
+    engine: str = "bsp"
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.engine not in ("bsp", "spmd"):
+            raise ReproError(
+                f"SolveRequest.engine must be 'bsp' or 'spmd', got {self.engine!r}"
+            )
+
+
+@dataclass
+class SolveOutcome:
+    """What the farm did with one request.
+
+    ``ok`` means admitted, solved and converged.  Shed requests have
+    ``admitted=False`` and carry the shed reason; solved requests report
+    cache behaviour (``structure_hit`` / ``system_hit``), the invariance
+    audit (``schedule_invariant`` — ``None`` on structure misses, where
+    there is no cached snapshot to compare against), the tenant's injected
+    fault counts when chaotic, and the request latency.
+    """
+
+    tenant: str
+    tag: str = ""
+    admitted: bool = False
+    shed_reason: str = ""
+    ok: bool = False
+    converged: bool = False
+    iterations: int = 0
+    residual: float = float("nan")
+    latency_s: float = 0.0
+    engine: str = "bsp"
+    fingerprint: str = ""
+    structure_hit: bool = False
+    system_hit: bool = False
+    schedule_invariant: bool | None = None
+    injected: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "tenant": self.tenant,
+            "tag": self.tag,
+            "admitted": self.admitted,
+            "shed_reason": self.shed_reason,
+            "ok": self.ok,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "latency_s": self.latency_s,
+            "engine": self.engine,
+            "fingerprint": self.fingerprint,
+            "structure_hit": self.structure_hit,
+            "system_hit": self.system_hit,
+            "schedule_invariant": self.schedule_invariant,
+            "injected": self.injected,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Farm-wide knobs: cluster shape, setup options, queue and cache bounds.
+
+    ``cache_max_bytes=None`` leaves the artifact caches unbounded;
+    ``0`` disables them (the benchmark's cold phase).  ``ranks`` is the
+    simulated cluster size each solve is sharded across; ``method`` picks
+    the preconditioner family (``fsai`` / ``fsaie`` / ``comm``).
+    """
+
+    ranks: int = 4
+    method: str = "comm"
+    workers: int = 4
+    queue_limit: int = 64
+    cache_max_bytes: int | None = None
+    line_bytes: int = 64
+    filter_value: float = 0.01
+    dynamic_filter: bool = True
+    partition_seed: int = 0
+
+    def __post_init__(self):
+        if self.method not in _BUILDERS:
+            raise ReproError(
+                f"FarmConfig.method must be one of {sorted(_BUILDERS)}, "
+                f"got {self.method!r}"
+            )
+        if self.ranks < 1 or self.workers < 1:
+            raise ReproError("FarmConfig: ranks and workers must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "ranks": self.ranks,
+            "method": self.method,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "cache_max_bytes": self.cache_max_bytes,
+            "line_bytes": self.line_bytes,
+            "filter_value": self.filter_value,
+            "dynamic_filter": self.dynamic_filter,
+            "partition_seed": self.partition_seed,
+        }
+
+
+class SolveFarm:
+    """Multi-tenant solve service over simulated clusters.
+
+    Construct with the tenant policies and a :class:`FarmConfig`; submit
+    requests from asyncio (:meth:`submit`) or in bulk from synchronous
+    code (:meth:`serve`).  The farm owns the two artifact-cache tiers,
+    the admission controller, the worker pool and the chaos lock; call
+    :meth:`shutdown` (or use it as a context manager) when done.
+    """
+
+    def __init__(self, tenants, config: FarmConfig | None = None):
+        self.config = config or FarmConfig()
+        self.admission = AdmissionController(
+            tenants, queue_limit=self.config.queue_limit
+        )
+        self.structures = ArtifactCache(
+            self.config.cache_max_bytes, name="structure"
+        )
+        self.systems = ArtifactCache(self.config.cache_max_bytes, name="system")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve-worker"
+        )
+        self._chaos_lock = _ReadWriteLock()
+        self._build_locks: dict = {}
+        self._build_locks_guard = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.structure_builds = 0
+        self.system_builds = 0
+        self.solves = 0
+        self.audits = 0
+        self.audit_violations = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveFarm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- front door -----------------------------------------------------
+    async def submit(self, request: SolveRequest) -> SolveOutcome:
+        """Admit and run one request; always returns an outcome.
+
+        Shed requests return immediately (no worker dispatched).  Worker
+        exceptions are captured into ``outcome.error`` rather than raised —
+        one tenant's bad matrix must not tear down the farm.
+        """
+        verdict = self.admission.admit(request.tenant)
+        if not verdict.admitted:
+            return SolveOutcome(
+                tenant=request.tenant,
+                tag=request.tag,
+                admitted=False,
+                shed_reason=verdict.reason,
+                engine=request.engine,
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self._run_admitted, request)
+
+    def serve(self, requests) -> list:
+        """Synchronous batch driver: submit all requests concurrently and
+        return their outcomes in request order."""
+
+        async def _drive():
+            return await asyncio.gather(*(self.submit(r) for r in requests))
+
+        return asyncio.run(_drive())
+
+    # -- worker body ----------------------------------------------------
+    def _run_admitted(self, request: SolveRequest) -> SolveOutcome:
+        start = time.perf_counter()
+        try:
+            outcome = self._solve(request)
+        except Exception as exc:  # noqa: BLE001 — isolate tenant failures
+            outcome = SolveOutcome(
+                tenant=request.tenant,
+                tag=request.tag,
+                admitted=True,
+                engine=request.engine,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        outcome.latency_s = time.perf_counter() - start
+        self.admission.release(request.tenant, ok=outcome.ok)
+        self.admission.observe_latency(request.tenant, outcome.latency_s)
+        get_metrics().counter(
+            "serve.requests", tenant=request.tenant, ok=str(outcome.ok)
+        ).inc()
+        return outcome
+
+    def _build_lock(self, cache: ArtifactCache, key):
+        """Per-key build lock, so concurrent cold requests for the same
+        artifact build it once.  When the cache is disabled (``max_bytes=0``,
+        the benchmark's cold phase) nothing can be shared, so builds run
+        unserialised — the cold numbers measure no-reuse concurrency, not
+        lock contention."""
+        if cache.max_bytes == 0:
+            return nullcontext()
+        with self._build_locks_guard:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                lock = self._build_locks[key] = threading.Lock()
+            return lock
+
+    def _setup_artifacts(self, request: SolveRequest):
+        """Structure tier: fingerprint, then fetch-or-build setup artifacts.
+
+        Returns ``(setup, structure_hit)``.  Per-fingerprint build locks
+        serialise concurrent cold requests for the same structure so the
+        expensive FSAI setup runs once, not once per request.
+        """
+        cfg = self.config
+        fp = fingerprint_structure(
+            request.mat,
+            ranks=cfg.ranks,
+            method=cfg.method,
+            line_bytes=cfg.line_bytes,
+            filter_value=cfg.filter_value,
+            dynamic=cfg.dynamic_filter,
+            seed=cfg.partition_seed,
+        )
+        with self._build_lock(self.structures, ("structure", fp.digest)):
+            setup = self.structures.get(fp)
+            if setup is not None:
+                return setup, True
+            part = RowPartition.from_matrix(
+                request.mat, cfg.ranks, seed=cfg.partition_seed
+            )
+            options = PrecondOptions(
+                line_bytes=cfg.line_bytes,
+                filter=FilterSpec(cfg.filter_value, dynamic=cfg.dynamic_filter),
+            )
+            pre = _BUILDERS[cfg.method](request.mat, part, options)
+            dist_a = DistMatrix.from_global(request.mat, part)
+            setup = SetupArtifacts(
+                fingerprint=fp,
+                partition=part,
+                preconditioner=pre,
+                schedule_snapshot=schedule_snapshot(dist_a.schedule),
+                nbytes=estimate_precond_nbytes(pre),
+            )
+            self.structures.put(fp, setup, setup.nbytes)
+            with self._stats_lock:
+                self.structure_builds += 1
+            # Seed the system tier with the operator we just built so the
+            # first solve of this exact matrix doesn't redistribute it.
+            vd = values_digest(request.mat)
+            system = SystemArtifacts(
+                values_digest=vd,
+                dist_a=dist_a,
+                workspaces=WorkspacePool(lambda: _fresh_workspace(dist_a)),
+                nbytes=estimate_dist_nbytes(dist_a),
+            )
+            self.systems.put((fp.digest, vd), system, system.nbytes)
+            with self._stats_lock:
+                self.system_builds += 1
+            return setup, False
+
+    def _system_artifacts(self, request: SolveRequest, setup, structure_hit: bool):
+        """System tier: fetch-or-build the distributed operator.
+
+        On a build after a structure *hit*, audits the fresh operator's
+        halo schedule against the cached snapshot — the proof that
+        same-structure/different-values reuse moves byte-identical
+        traffic.  Returns ``(system, system_hit, schedule_invariant)``.
+        """
+        fp = setup.fingerprint
+        vd = values_digest(request.mat)
+        key = (fp.digest, vd)
+        with self._build_lock(self.systems, ("system",) + key):
+            system = self.systems.get(key)
+            if system is not None:
+                return system, True, None
+            dist_a = DistMatrix.from_global(request.mat, setup.partition)
+            invariant = None
+            if structure_hit:
+                verdict = compare_snapshots(
+                    setup.schedule_snapshot,
+                    schedule_snapshot(dist_a.schedule),
+                    base_label="cached-structure",
+                    other_label="fresh-operator",
+                )
+                invariant = verdict.invariant
+                with self._stats_lock:
+                    self.audits += 1
+                    if not invariant:
+                        self.audit_violations += 1
+                get_metrics().counter(
+                    "serve.audit", invariant=str(invariant)
+                ).inc()
+            system = SystemArtifacts(
+                values_digest=vd,
+                dist_a=dist_a,
+                workspaces=WorkspacePool(lambda: _fresh_workspace(dist_a)),
+                nbytes=estimate_dist_nbytes(dist_a),
+            )
+            self.systems.put(key, system, system.nbytes)
+            with self._stats_lock:
+                self.system_builds += 1
+            return system, False, invariant
+
+    def _solve(self, request: SolveRequest) -> SolveOutcome:
+        setup, structure_hit = self._setup_artifacts(request)
+        system, system_hit, invariant = self._system_artifacts(
+            request, setup, structure_hit
+        )
+        rhs = request.rhs
+        if rhs is None:
+            rhs = paper_rhs(request.mat, seed=0)
+        b = DistVector.from_global(np.asarray(rhs, dtype=np.float64), setup.partition)
+
+        policy = self.admission.policy(request.tenant)
+        if policy.chaotic:
+            self._chaos_lock.acquire_write()
+            try:
+                with fault_injection(policy.fault_plan) as injector:
+                    outcome = self._execute(request, setup, system, b)
+                outcome.injected = {
+                    k: v for k, v in injector.counts.items() if v
+                }
+            finally:
+                self._chaos_lock.release_write()
+        else:
+            self._chaos_lock.acquire_read()
+            try:
+                outcome = self._execute(request, setup, system, b)
+            finally:
+                self._chaos_lock.release_read()
+
+        outcome.fingerprint = setup.fingerprint.digest
+        outcome.structure_hit = structure_hit
+        outcome.system_hit = system_hit
+        outcome.schedule_invariant = invariant
+        with self._stats_lock:
+            self.solves += 1
+        return outcome
+
+    def _execute(self, request, setup, system, b) -> SolveOutcome:
+        """Run the numerics on a checked-out workspace (bsp) or the SPMD
+        runtime, and fold the result into an outcome."""
+        pre = setup.preconditioner
+        if request.engine == "spmd":
+            x, iters = spmd_cg(
+                system.dist_a,
+                b,
+                rtol=request.rtol,
+                max_iterations=request.max_iterations,
+                precond_pair=(pre.g, pre.gt),
+            )
+            xg = x.to_global()
+            bg = b.to_global()
+            res = float(
+                np.linalg.norm(bg - request.mat.spmv(xg)) / np.linalg.norm(bg)
+            )
+            converged = res <= request.rtol * 10
+            return SolveOutcome(
+                tenant=request.tenant,
+                tag=request.tag,
+                admitted=True,
+                ok=converged,
+                converged=converged,
+                iterations=int(iters),
+                residual=res,
+                engine="spmd",
+            )
+        workspace = system.workspaces.acquire()
+        try:
+            result = pcg(
+                system.dist_a,
+                b,
+                precond=pre,
+                rtol=request.rtol,
+                max_iterations=request.max_iterations,
+                workspace=workspace,
+            )
+        finally:
+            system.workspaces.release(workspace)
+        return SolveOutcome(
+            tenant=request.tenant,
+            tag=request.tag,
+            admitted=True,
+            ok=bool(result.converged),
+            converged=bool(result.converged),
+            iterations=int(result.iterations),
+            residual=float(result.residual_norms[-1]),
+            engine="bsp",
+        )
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> dict:
+        """Everything the serve report needs: config, admission stats,
+        both cache tiers, build/solve/audit counters."""
+        with self._stats_lock:
+            counters = {
+                "solves": self.solves,
+                "structure_builds": self.structure_builds,
+                "system_builds": self.system_builds,
+                "audits": self.audits,
+                "audit_violations": self.audit_violations,
+            }
+        return {
+            "config": self.config.to_dict(),
+            "admission": self.admission.to_dict(),
+            "caches": {
+                "structure": self.structures.stats.to_dict(),
+                "system": self.systems.stats.to_dict(),
+            },
+            "counters": counters,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveFarm(tenants={self.admission.tenants}, "
+            f"method={self.config.method!r}, ranks={self.config.ranks}, "
+            f"workers={self.config.workers})"
+        )
+
+
+def _fresh_workspace(dist_a):
+    from repro.kernels.workspace import SolverWorkspace
+
+    return SolverWorkspace(dist_a)

@@ -1,0 +1,193 @@
+"""Versioned serve reports: what the farm did, as a JSON artifact.
+
+A :class:`ServeReport` (``format: "repro-serve-report"``, ``version: 1``)
+captures one serving window: farm configuration, admission and shed
+accounting per tenant, both artifact-cache tiers, build/solve/audit
+counters, and optionally the per-request outcomes.  It is the document
+the ``repro serve`` CLI prints and saves, and
+:meth:`repro.observe.report.RunReport.load` dispatches on its format so
+``repro report`` / ``RunReport.compare`` work on serve artifacts the same
+way they work on trace and benchmark artifacts (the format string is
+duplicated there deliberately — the observe layer must not import
+:mod:`repro.serve`, mirroring the flight-recorder contract).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SERVE_FORMAT",
+    "SERVE_VERSION",
+    "ServeReportError",
+    "ServeReport",
+]
+
+SERVE_FORMAT = "repro-serve-report"
+SERVE_VERSION = 1
+
+
+class ServeReportError(ReproError):
+    """A serve-report artifact is malformed or has the wrong format."""
+
+
+@dataclass
+class ServeReport:
+    """One serving window's accounting, as a versioned document.
+
+    ``farm`` is the :meth:`repro.serve.farm.SolveFarm.report` dictionary;
+    ``outcomes`` the per-request :meth:`SolveOutcome.to_dict` rows (may be
+    omitted for long windows — the aggregate accounting stands alone).
+    """
+
+    meta: dict = field(default_factory=dict)
+    farm: dict = field(default_factory=dict)
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Display label of this report."""
+        return str(self.meta.get("label", "serve"))
+
+    @classmethod
+    def from_farm(
+        cls, farm, outcomes=None, *, label: str = "serve", **meta
+    ) -> "ServeReport":
+        """Snapshot a :class:`~repro.serve.farm.SolveFarm` (and optionally
+        the outcomes it produced) into a report."""
+        return cls(
+            meta={"label": label, **meta},
+            farm=farm.report(),
+            outcomes=[o.to_dict() for o in outcomes] if outcomes else [],
+        )
+
+    def metrics(self) -> dict:
+        """Flat comparable ``serve.*`` metrics (the surface
+        :meth:`RunReport.compare` diffs)."""
+        flat: dict[str, float] = {}
+        admission = self.farm.get("admission", {})
+        for key in ("admitted", "shed", "shed_fraction"):
+            if key in admission:
+                flat[f"serve.{key}"] = float(admission[key])
+        for name, tstats in admission.get("tenants", {}).items():
+            for key in ("admitted", "shed", "completed", "failed", "shed_fraction"):
+                flat[f"serve.tenant.{name}.{key}"] = float(tstats.get(key, 0))
+            lat = tstats.get("latency", {})
+            for key in ("p50_s", "p95_s", "p99_s", "mean_s"):
+                if key in lat:
+                    flat[f"serve.tenant.{name}.latency.{key}"] = float(lat[key])
+        for tier, cstats in self.farm.get("caches", {}).items():
+            for key in ("hits", "misses", "evictions", "hit_rate"):
+                if key in cstats:
+                    flat[f"serve.cache.{tier}.{key}"] = float(cstats[key])
+        for key, value in self.farm.get("counters", {}).items():
+            flat[f"serve.{key}"] = float(value)
+        return flat
+
+    # persistence -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable versioned form."""
+        return {
+            "format": SERVE_FORMAT,
+            "version": SERVE_VERSION,
+            "meta": dict(self.meta),
+            "farm": dict(self.farm),
+            "outcomes": list(self.outcomes),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ServeReport":
+        """Validate and load the saved document form."""
+        if not isinstance(doc, dict):
+            raise ServeReportError("serve report must be a JSON object")
+        if doc.get("format") != SERVE_FORMAT:
+            raise ServeReportError(
+                f"not a serve report (format={doc.get('format')!r}, "
+                f"expected {SERVE_FORMAT!r})"
+            )
+        if doc.get("version") != SERVE_VERSION:
+            raise ServeReportError(
+                f"unsupported serve-report schema version {doc.get('version')!r} "
+                f"(this build reads version {SERVE_VERSION})"
+            )
+        return cls(
+            meta=dict(doc.get("meta", {})),
+            farm=dict(doc.get("farm", {})),
+            outcomes=list(doc.get("outcomes", [])),
+        )
+
+    def save(self, path, *, indent: int | None = 2) -> Path:
+        """Write the versioned JSON document; returns the path written."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ServeReport":
+        """Read a serve report; :class:`ServeReportError` on anything else."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ServeReportError(f"cannot read {path}: {exc}") from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServeReportError(f"{path} is not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(doc)
+        except ServeReportError as exc:
+            raise ServeReportError(f"{path}: {exc}") from None
+
+    # rendering ---------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``repro serve`` output)."""
+        admission = self.farm.get("admission", {})
+        caches = self.farm.get("caches", {})
+        counters = self.farm.get("counters", {})
+        lines = [
+            f"serve report: {self.label}",
+            (
+                f"  admitted {admission.get('admitted', 0)}, "
+                f"shed {admission.get('shed', 0)} "
+                f"(fraction {admission.get('shed_fraction', 0.0):.3f}), "
+                f"solves {counters.get('solves', 0)}"
+            ),
+        ]
+        for name, tstats in admission.get("tenants", {}).items():
+            lat = tstats.get("latency", {})
+            chaos = " [chaos]" if tstats.get("chaotic") else ""
+            lines.append(
+                f"  tenant {name}{chaos}: admitted {tstats.get('admitted', 0)}, "
+                f"shed {tstats.get('shed', 0)}, "
+                f"p50 {lat.get('p50_s', 0.0) * 1e3:.2f} ms, "
+                f"p95 {lat.get('p95_s', 0.0) * 1e3:.2f} ms, "
+                f"p99 {lat.get('p99_s', 0.0) * 1e3:.2f} ms"
+            )
+        for tier, cstats in caches.items():
+            lines.append(
+                f"  cache[{tier}]: {cstats.get('hits', 0)} hits / "
+                f"{cstats.get('misses', 0)} misses "
+                f"(rate {cstats.get('hit_rate', 0.0):.3f}), "
+                f"{cstats.get('evictions', 0)} evictions, "
+                f"{cstats.get('bytes', 0)} bytes resident"
+            )
+        lines.append(
+            f"  setup builds: {counters.get('structure_builds', 0)} structure, "
+            f"{counters.get('system_builds', 0)} system; invariance audits "
+            f"{counters.get('audits', 0)} "
+            f"({counters.get('audit_violations', 0)} violations)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeReport(label={self.label!r}, "
+            f"outcomes={len(self.outcomes)})"
+        )
